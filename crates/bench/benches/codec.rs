@@ -1,0 +1,35 @@
+//! Codec throughput: encode and decode, CABAC vs CAVLC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vapp_codec::{decode, Encoder, EncoderConfig, EntropyMode};
+use vapp_workloads::{ClipSpec, SceneKind};
+
+fn bench_codec(c: &mut Criterion) {
+    let video = ClipSpec::new(112, 64, 12, SceneKind::MovingBlocks)
+        .seed(1)
+        .generate();
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(10);
+
+    for entropy in [EntropyMode::Cabac, EntropyMode::Cavlc] {
+        let cfg = EncoderConfig {
+            entropy,
+            keyint: 12,
+            bframes: 2,
+            ..EncoderConfig::default()
+        };
+        group.bench_function(format!("encode_{entropy:?}"), |b| {
+            let encoder = Encoder::new(cfg);
+            b.iter(|| black_box(encoder.encode(black_box(&video))));
+        });
+        let stream = Encoder::new(cfg).encode(&video).stream;
+        group.bench_function(format!("decode_{entropy:?}"), |b| {
+            b.iter(|| black_box(decode(black_box(&stream))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! AES mode throughput over video-sized buffers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vapp_crypto::CipherMode;
+
+fn bench_crypto(c: &mut Criterion) {
+    let key = [0x11u8; 16];
+    let iv = [0x22u8; 16];
+    let data: Vec<u8> = (0..65536).map(|i| (i % 251) as u8).collect();
+
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for mode in CipherMode::ALL {
+        group.bench_function(format!("encrypt_{mode:?}_64k"), |b| {
+            b.iter(|| black_box(mode.encrypt(&key, &iv, black_box(&data))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

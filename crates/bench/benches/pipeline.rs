@@ -1,0 +1,57 @@
+//! End-to-end pipeline: split/merge streams and full store/load rounds
+//! with the analytic and exact BCH block simulators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vapp_codec::{Encoder, EncoderConfig};
+use vapp_workloads::{ClipSpec, SceneKind};
+use videoapp::{
+    split_streams, ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable,
+    StoragePolicy,
+};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let video = ClipSpec::new(112, 64, 12, SceneKind::MovingBlocks)
+        .seed(3)
+        .generate();
+    let result = Encoder::new(EncoderConfig {
+        keyint: 12,
+        bframes: 2,
+        ..EncoderConfig::default()
+    })
+    .encode(&video);
+    let imp = ImportanceMap::compute(&DependencyGraph::from_analysis(&result.analysis));
+    let table = PivotTable::build(&result.analysis, &imp, &[4.0, 64.0]);
+    let stream = &result.stream;
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("split_streams", |b| {
+        b.iter(|| black_box(split_streams(black_box(stream), &table)));
+    });
+
+    let policy = StoragePolicy {
+        ladder_levels: vec![EcScheme::None, EcScheme::Bch(6), EcScheme::Bch(10)],
+        thresholds: vec![4.0, 64.0],
+        raw_ber: 1e-3,
+        exact_bch: false,
+    };
+    group.bench_function("store_load_analytic", |b| {
+        let store = ApproxStore::new(policy.clone());
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| black_box(store.store_load(stream, &table, &mut rng)));
+    });
+    group.bench_function("store_load_exact_bch", |b| {
+        let mut exact = policy.clone();
+        exact.exact_bch = true;
+        let store = ApproxStore::new(exact);
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| black_box(store.store_load(stream, &table, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Storage-substrate throughput: BCH encode/decode per 512-bit block and
+//! MLC model queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vapp_storage::bch::{Bch, DATA_BITS};
+use vapp_storage::bits::BitBuf;
+use vapp_storage::mlc::{MlcConfig, MlcSubstrate};
+use vapp_storage::uber::block_failure_rate;
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(20);
+
+    let mut data = BitBuf::zeroed(DATA_BITS);
+    for i in (0..DATA_BITS).step_by(3) {
+        data.set(i, true);
+    }
+
+    for t in [6usize, 16] {
+        let code = Bch::new(t);
+        group.bench_function(format!("bch{t}_encode"), |b| {
+            b.iter(|| black_box(code.encode(black_box(&data))));
+        });
+        let clean = code.encode(&data);
+        group.bench_function(format!("bch{t}_decode_clean"), |b| {
+            b.iter(|| {
+                let mut cw = clean.clone();
+                black_box(code.decode(&mut cw))
+            });
+        });
+        group.bench_function(format!("bch{t}_decode_{t}errors"), |b| {
+            b.iter(|| {
+                let mut cw = clean.clone();
+                for e in 0..t {
+                    cw.flip((e * 83 + 11) % cw.len());
+                }
+                black_box(code.decode(&mut cw))
+            });
+        });
+        group.bench_function(format!("bch{t}_failure_rate"), |b| {
+            b.iter(|| black_box(block_failure_rate(&code, black_box(1e-3))));
+        });
+    }
+
+    group.bench_function("mlc_raw_ber", |b| {
+        let substrate = MlcSubstrate::new(MlcConfig::default());
+        b.iter(|| black_box(substrate.raw_ber(black_box(90.0))));
+    });
+    group.bench_function("mlc_calibration", |b| {
+        b.iter(|| black_box(MlcSubstrate::tuned_for_ber(MlcConfig::default(), 1e-3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! **§4.3.1**: time and space overhead of the VideoApp analysis — the
+//! paper reports a 2–3% time overhead relative to encoding, with the
+//! dependency structures an order of magnitude smaller than the raw
+//! video.
+
+use vapp_bench::{prepare, print_header, print_row, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("== §4.3.1: analysis time and space overhead ==\n");
+    let prepared = prepare(&cfg, 24);
+
+    let widths = [16usize, 12, 12, 10, 14, 14];
+    print_header(
+        &["clip", "encode s", "analysis s", "time %", "graph bytes", "raw bytes"],
+        &widths,
+    );
+    for p in &prepared {
+        // Space: dependency records ≈ deps * 24B + spans * 16B per MB.
+        let mut dep_edges = 0usize;
+        for f in &p.result.analysis.frames {
+            for m in &f.mbs {
+                dep_edges += m.deps.len();
+            }
+        }
+        let graph_bytes = dep_edges * 24 + p.result.analysis.total_mbs() * 16;
+        let raw_bytes = p.original.total_pixels();
+        print_row(
+            &[
+                p.name.to_string(),
+                format!("{:.3}", p.encode_seconds),
+                format!("{:.3}", p.analysis_seconds),
+                format!("{:.1}", 100.0 * p.analysis_seconds / p.encode_seconds),
+                format!("{graph_bytes}"),
+                format!("{raw_bytes}"),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\n(paper §4.3.1: 2-3% time overhead; graph structures an order of \
+         magnitude smaller than the raw video; per-GOP streaming evaluation \
+         keeps both bounded — see ImportanceMap::compute_streaming)"
+    );
+}

@@ -1,0 +1,97 @@
+//! **Figure 10**: (a) cumulative quality loss vs error rate per log2
+//! importance class (class i = all macroblocks with importance ≤ 2^i);
+//! (b) cumulative storage per class.
+//!
+//! These curves, together with Fig. 8, drive the Table 1 assignment.
+
+use vapp_bench::{prepare, print_header, print_row, rate_sweep, ExpConfig};
+use vapp_sim::Trials;
+use videoapp::pipeline::measure_loss_curve;
+use videoapp::{importance_classes, payload_layout};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("== Figure 10: cumulative loss and storage per importance class ==\n");
+    let prepared = prepare(&cfg, 24);
+    let rates = rate_sweep(12, 2);
+
+    // Collect the union of class exponents over the suite.
+    let mut all_exps: Vec<u32> = Vec::new();
+    for p in &prepared {
+        for c in importance_classes(&p.result.analysis, &p.importance) {
+            if !all_exps.contains(&c.exp) {
+                all_exps.push(c.exp);
+            }
+        }
+    }
+    all_exps.sort_unstable();
+
+    let mut loss: Vec<Vec<f64>> = vec![vec![0.0; rates.len()]; all_exps.len()];
+    let mut cum_storage = vec![0u64; all_exps.len()];
+    let mut total_storage = 0u64;
+
+    for (ci, p) in prepared.iter().enumerate() {
+        let classes = importance_classes(&p.result.analysis, &p.importance);
+        total_storage += *payload_layout(&p.result.analysis).last().unwrap();
+        for (ei, &exp) in all_exps.iter().enumerate() {
+            // Cumulative ranges: all classes with exponent <= exp.
+            let ranges: Vec<_> = classes
+                .iter()
+                .filter(|c| c.exp <= exp)
+                .flat_map(|c| c.ranges.iter().cloned())
+                .collect();
+            cum_storage[ei] += classes
+                .iter()
+                .filter(|c| c.exp <= exp)
+                .map(|c| c.bits)
+                .sum::<u64>();
+            if ranges.is_empty() {
+                continue;
+            }
+            let curve = measure_loss_curve(
+                &p.result.stream,
+                &p.original,
+                &ranges,
+                &rates,
+                Trials::new(cfg.trials, 2000 + ci as u64),
+            );
+            for (ri, &r) in rates.iter().enumerate() {
+                loss[ei][ri] = loss[ei][ri].min(curve.loss_at(r));
+            }
+        }
+        eprintln!("  [{}] done", p.name);
+    }
+
+    println!("(a) cumulative worst quality change (dB); class i = importance <= 2^i:");
+    let widths: Vec<usize> =
+        std::iter::once(9).chain(std::iter::repeat_n(8, all_exps.len())).collect();
+    let class_names: Vec<String> = all_exps.iter().map(|e| format!("<=2^{e}")).collect();
+    let header: Vec<&str> = std::iter::once("rate")
+        .chain(class_names.iter().map(|s| s.as_str()))
+        .collect();
+    print_header(&header, &widths);
+    for (ri, &r) in rates.iter().enumerate() {
+        let mut cells = vec![format!("{r:.0e}")];
+        for class_loss in loss.iter() {
+            cells.push(format!("{:.2}", class_loss[ri]));
+        }
+        print_row(&cells, &widths);
+    }
+
+    println!("\n(b) cumulative storage per class (% of payload):");
+    let widths2 = [10usize, 14];
+    print_header(&["class", "storage %"], &widths2);
+    for (ei, &exp) in all_exps.iter().enumerate() {
+        print_row(
+            &[
+                format!("<=2^{exp}"),
+                format!("{:.1}", 100.0 * cum_storage[ei] as f64 / total_storage as f64),
+            ],
+            &widths2,
+        );
+    }
+    println!(
+        "\n(paper Fig. 10: lower classes tolerate orders of magnitude higher error \
+         rates; storage is dominated by mid/low importance classes)"
+    );
+}

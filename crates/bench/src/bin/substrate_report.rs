@@ -1,0 +1,78 @@
+//! **§6.2 substrate**: the optimised MLC PCM model behind every storage
+//! number — calibration to raw BER 1e-3 at the 3-month scrub interval,
+//! the effect of drift-biased level placement (Guo et al.'s non-uniform
+//! partitioning), and physical validation via a Gray-coded cell array.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vapp_bench::{print_header, print_row};
+use vapp_storage::array::CellArray;
+use vapp_storage::bits::BitBuf;
+use vapp_storage::mlc::{MlcConfig, MlcSubstrate, DEFAULT_SCRUB_DAYS, TARGET_RAW_BER};
+
+fn main() {
+    println!("== §6.2: the 8-level MLC PCM substrate ==\n");
+
+    let tuned = MlcSubstrate::tuned_for_ber(MlcConfig::default(), TARGET_RAW_BER);
+    println!(
+        "calibrated write-noise sigma: {:.5} (targets raw BER 1e-3 at {} days)\n",
+        tuned.config().sigma,
+        DEFAULT_SCRUB_DAYS
+    );
+
+    // BER over the scrub window: biased vs naive placement.
+    let naive = MlcSubstrate::new(MlcConfig {
+        biased: false,
+        sigma: tuned.config().sigma,
+        ..Default::default()
+    });
+    println!("(a) raw BER over the scrub window:");
+    let widths = [10usize, 14, 14];
+    print_header(&["t (days)", "optimised", "naive"], &widths);
+    for t in [0.0f64, 10.0, 30.0, 60.0, 90.0, 180.0] {
+        print_row(
+            &[
+                format!("{t:.0}"),
+                format!("{:.2e}", tuned.raw_ber(t)),
+                format!("{:.2e}", naive.raw_ber(t)),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "(the optimised substrate equalises start-of-life and scrub-time error\n\
+         rates; the naive one explodes as resistance drifts — Guo et al.'s\n\
+         non-uniform level partitioning, paper §2.2)\n"
+    );
+
+    // Physical validation: store bits, age, read back.
+    println!("(b) physical cell-array validation at the scrub interval:");
+    let mut data = BitBuf::zeroed(600_000);
+    let mut s = 0xDEAD_BEEFu64;
+    for i in 0..data.len() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        data.set(i, (s >> 60) & 1 == 1);
+    }
+    let array = CellArray::write(&tuned, &data);
+    let mut rng = StdRng::seed_from_u64(90);
+    let read = array.read(&tuned, DEFAULT_SCRUB_DAYS, &mut rng);
+    let flips = read.hamming_distance(&data);
+    let measured = flips as f64 / data.len() as f64;
+    println!(
+        "  stored {} bits in {} cells (3 bits/cell, Gray-coded)",
+        data.len(),
+        array.cell_count()
+    );
+    println!(
+        "  measured BER {:.2e} vs analytic {:.2e} (paper premise: 1e-3)",
+        measured,
+        tuned.raw_ber(DEFAULT_SCRUB_DAYS)
+    );
+    assert!((measured.log10() - (-3.0)).abs() < 0.5, "calibration drifted");
+
+    println!("\n(c) level placement (write targets, normalised resistance):");
+    let centers: Vec<String> = tuned.centers().iter().map(|c| format!("{c:.3}")).collect();
+    println!("  optimised: [{}]", centers.join(", "));
+    let ncenters: Vec<String> = naive.centers().iter().map(|c| format!("{c:.3}")).collect();
+    println!("  naive:     [{}]", ncenters.join(", "));
+}

@@ -1,0 +1,63 @@
+//! **Table 1**: error-correction assignment per importance class, derived
+//! by the paper's §7.2 algorithm — a 0.3 dB worst-case budget distributed
+//! proportionally to class storage, each class getting the weakest scheme
+//! whose incremental loss fits its share.
+
+use vapp_bench::{pooled_assignment, prepare, print_header, print_row, rate_sweep, ExpConfig};
+use vapp_sim::Trials;
+use videoapp::QUALITY_BUDGET_DB;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("== Table 1: error-correction assignment ==");
+    println!("(budget {QUALITY_BUDGET_DB} dB, raw BER 1e-3, 512-bit blocks)\n");
+    let prepared = prepare(&cfg, 24);
+    let rates = rate_sweep(12, 2);
+    let assignment = pooled_assignment(
+        &prepared,
+        &rates,
+        Trials::new(cfg.trials, 3000),
+        QUALITY_BUDGET_DB,
+        1e-3,
+    );
+
+    let widths = [16usize, 12, 12, 14, 12];
+    print_header(
+        &["importance", "scheme", "error rate", "overhead %", "bits %"],
+        &widths,
+    );
+    let total_bits: u64 = assignment.per_class.iter().map(|&(_, b, _)| b).sum();
+    let mut lo = 0u64;
+    for &(exp, bits, scheme) in &assignment.per_class {
+        let hi = 2u64.saturating_pow(exp);
+        print_row(
+            &[
+                format!("{}-{}", lo, hi),
+                format!("{scheme}"),
+                format!("{:.1e}", scheme.residual_ber(1e-3)),
+                format!("{:.2}", scheme.overhead() * 100.0),
+                format!("{:.1}", 100.0 * bits as f64 / total_bits as f64),
+            ],
+            &widths,
+        );
+        lo = hi + 1;
+    }
+    print_row(
+        &[
+            "frame header".into(),
+            format!("{}", assignment.header_scheme),
+            format!("{:.0e}", 1e-16),
+            format!("{:.2}", assignment.header_scheme.overhead() * 100.0),
+            "<0.1".into(),
+        ],
+        &widths,
+    );
+    println!(
+        "\naverage payload ECC overhead: {:.2}% (uniform BCH-16 would cost 31.25%)",
+        assignment.average_overhead() * 100.0
+    );
+    println!(
+        "EC overhead eliminated: {:.0}% (paper: 47% under the most error-intolerant settings)",
+        (1.0 - assignment.average_overhead() / 0.3125) * 100.0
+    );
+}

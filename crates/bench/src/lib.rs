@@ -1,0 +1,235 @@
+//! Shared machinery for the experiment regenerators (one binary per paper
+//! figure/table — see `DESIGN.md` §5) and the criterion benches.
+//!
+//! Every binary honours the `VAPP_SCALE` environment variable:
+//!
+//! * `small` (default) — minutes-scale runs: reduced resolution, frame
+//!   counts and trial counts. Shapes hold; absolute values are noisier.
+//! * `full`  — closer to the paper's methodology (more frames, 30 trials).
+
+use std::time::Instant;
+use vapp_codec::{EncodeResult, Encoder, EncoderConfig};
+use vapp_media::Video;
+use vapp_sim::Trials;
+use vapp_workloads::{suite, NamedClip};
+use videoapp::pipeline::measure_loss_curve;
+use videoapp::{importance_classes, Assignment, DependencyGraph, ImportanceMap, LossCurve};
+
+/// Experiment scale knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpConfig {
+    /// Clip width in pixels.
+    pub width: usize,
+    /// Clip height in pixels.
+    pub height: usize,
+    /// Frames per clip.
+    pub frames: usize,
+    /// Monte Carlo trials per data point (the paper uses 30).
+    pub trials: usize,
+    /// Number of clips from the workload suite to use.
+    pub clips: usize,
+}
+
+impl ExpConfig {
+    /// Reads the scale from `VAPP_SCALE` (`small` default, `full`).
+    pub fn from_env() -> Self {
+        match std::env::var("VAPP_SCALE").as_deref() {
+            Ok("full") => ExpConfig {
+                width: 320,
+                height: 192,
+                frames: 96,
+                trials: 30,
+                clips: 7,
+            },
+            _ => ExpConfig {
+                width: 112,
+                height: 64,
+                frames: 24,
+                trials: 5,
+                clips: 3,
+            },
+        }
+    }
+
+    /// The workload suite at this scale.
+    pub fn suite(&self) -> Vec<NamedClip> {
+        let mut clips = suite(self.width, self.height, self.frames);
+        clips.truncate(self.clips.max(1));
+        clips
+    }
+
+    /// The paper's standard-quality encoder settings (§6.3: CRF 24).
+    pub fn encoder(&self, crf: u8) -> EncoderConfig {
+        EncoderConfig {
+            crf,
+            keyint: 24,
+            bframes: 2,
+            ..EncoderConfig::default()
+        }
+    }
+}
+
+/// An encoded clip with its analysis products.
+pub struct PreparedClip {
+    /// Clip name.
+    pub name: &'static str,
+    /// The raw input.
+    pub original: Video,
+    /// Encoder outputs.
+    pub result: EncodeResult,
+    /// The dependency graph.
+    pub graph: DependencyGraph,
+    /// Macroblock importances.
+    pub importance: ImportanceMap,
+    /// Encode wall time (for the §4.3.1 overhead claim).
+    pub encode_seconds: f64,
+    /// Importance-analysis wall time.
+    pub analysis_seconds: f64,
+}
+
+/// Encodes and analyses every clip of the suite at the given CRF.
+pub fn prepare(cfg: &ExpConfig, crf: u8) -> Vec<PreparedClip> {
+    prepare_with(cfg, cfg.encoder(crf))
+}
+
+/// Encodes and analyses every clip with an explicit encoder config.
+pub fn prepare_with(cfg: &ExpConfig, enc_cfg: EncoderConfig) -> Vec<PreparedClip> {
+    let encoder = Encoder::new(enc_cfg);
+    cfg.suite()
+        .into_iter()
+        .map(|clip| {
+            let t0 = Instant::now();
+            let result = encoder.encode(&clip.video);
+            let encode_seconds = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let graph = DependencyGraph::from_analysis(&result.analysis);
+            let importance = ImportanceMap::compute(&graph);
+            let analysis_seconds = t1.elapsed().as_secs_f64();
+            PreparedClip {
+                name: clip.name,
+                original: clip.video,
+                result,
+                graph,
+                importance,
+                encode_seconds,
+                analysis_seconds,
+            }
+        })
+        .collect()
+}
+
+/// The error-rate sweep used by Figures 9 and 10 (x-axes 1e-10…1e-2 and
+/// 1e-12…1e-2).
+pub fn rate_sweep(from_exp: i32, to_exp: i32) -> Vec<f64> {
+    (to_exp..=from_exp).map(|e| 10f64.powi(-e)).rev().collect()
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a table header followed by a rule.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Measures the cumulative loss curve of every importance class of one
+/// clip (the Fig. 10 machinery shared by Table 1 and Fig. 11).
+pub fn class_curves(
+    p: &PreparedClip,
+    rates: &[f64],
+    trials: Trials,
+) -> Vec<(u32, u64, LossCurve)> {
+    let classes = importance_classes(&p.result.analysis, &p.importance);
+    let mut out = Vec::with_capacity(classes.len());
+    for (i, c) in classes.iter().enumerate() {
+        let ranges: Vec<_> = classes[..=i]
+            .iter()
+            .flat_map(|cc| cc.ranges.iter().cloned())
+            .collect();
+        let curve = measure_loss_curve(&p.result.stream, &p.original, &ranges, rates, trials);
+        out.push((c.exp, c.bits, curve));
+    }
+    out
+}
+
+/// Pools per-clip class curves across the suite (bits summed per class
+/// exponent, worst loss per rate — the paper's conservative "across a wide
+/// range of videos" empirical relationship) and runs the §7.2 assignment.
+pub fn pooled_assignment(
+    prepared: &[PreparedClip],
+    rates: &[f64],
+    trials: Trials,
+    budget_db: f64,
+    raw_ber: f64,
+) -> Assignment {
+    use std::collections::BTreeMap;
+    let mut bits_by_exp: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut loss_by_exp: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for p in prepared {
+        for (exp, bits, curve) in class_curves(p, rates, trials) {
+            *bits_by_exp.entry(exp).or_insert(0) += bits;
+            let entry = loss_by_exp.entry(exp).or_insert_with(|| vec![0.0; rates.len()]);
+            for (ri, &r) in rates.iter().enumerate() {
+                entry[ri] = entry[ri].min(curve.loss_at(r));
+            }
+        }
+    }
+    // Cumulative curves must be monotone in class: pool then re-cumulate
+    // (a higher class's cumulative loss includes all lower classes).
+    let exps: Vec<u32> = bits_by_exp.keys().copied().collect();
+    let mut pooled_curves = Vec::with_capacity(exps.len());
+    let mut running = vec![0.0f64; rates.len()];
+    for exp in &exps {
+        let l = &loss_by_exp[exp];
+        for (ri, &v) in l.iter().enumerate() {
+            running[ri] = running[ri].min(v);
+        }
+        pooled_curves.push(LossCurve::new(
+            rates.iter().copied().zip(running.iter().copied()).collect(),
+        ));
+    }
+    let classes: Vec<(u32, u64)> = exps.iter().map(|e| (*e, bits_by_exp[e])).collect();
+    Assignment::compute(&classes, &pooled_curves, budget_db, raw_ber)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_sweep_is_ascending() {
+        let r = rate_sweep(10, 2);
+        assert_eq!(r.len(), 9);
+        assert!((r[0] - 1e-10).abs() < 1e-22);
+        assert!((r.last().unwrap() - 1e-2).abs() < 1e-12);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn small_config_prepares_quickly() {
+        let cfg = ExpConfig {
+            width: 48,
+            height: 32,
+            frames: 4,
+            trials: 1,
+            clips: 1,
+        };
+        let prepared = prepare(&cfg, 24);
+        assert_eq!(prepared.len(), 1);
+        let p = &prepared[0];
+        assert!(p.result.stream.payload_bits() > 0);
+        assert!(p.importance.max() >= 1.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! MSB-first bit I/O.
+//!
+//! The decoder side is deliberately *total*: reading past the end of the
+//! buffer yields zero bits instead of failing. Approximate storage delivers
+//! corrupted payloads, and a corrupted variable-length code routinely asks
+//! for more bits than exist; the decoder must keep going deterministically
+//! (paper §3 — the entropy decoder drifts out of sync but resynchronises at
+//! the next frame).
+
+/// Writes bits MSB-first into a growable byte buffer.
+///
+/// # Example
+///
+/// ```
+/// use vapp_codec::bitstream::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.put_bit(true);
+/// w.put_bits(0b1011, 4);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert!(r.get_bit());
+/// assert_eq!(r.get_bits(4), 0b1011);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already placed in the partially-filled last byte (0..8).
+    partial_bits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        if self.partial_bits == 0 {
+            self.bytes.len() as u64 * 8
+        } else {
+            (self.bytes.len() as u64 - 1) * 8 + self.partial_bits as u64
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        if self.partial_bits == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("buffer is non-empty here");
+            *last |= 1 << (7 - self.partial_bits);
+        }
+        self.partial_bits = (self.partial_bits + 1) % 8;
+    }
+
+    /// Appends the `count` low-order bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn put_bits(&mut self, value: u32, count: u32) {
+        assert!(count <= 32, "at most 32 bits per call");
+        for i in (0..count).rev() {
+            self.put_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice; reads past the end return zeros.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Current bit position (keeps advancing even past the end).
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Whether the reader has consumed all real bits.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.bytes.len() as u64 * 8
+    }
+
+    /// Reads one bit; `false` past the end.
+    pub fn get_bit(&mut self) -> bool {
+        let byte_index = (self.pos / 8) as usize;
+        let bit = if byte_index < self.bytes.len() {
+            (self.bytes[byte_index] >> (7 - (self.pos % 8))) & 1 == 1
+        } else {
+            false
+        };
+        self.pos += 1;
+        bit
+    }
+
+    /// Reads `count` bits MSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn get_bits(&mut self, count: u32) -> u32 {
+        assert!(count <= 32, "at most 32 bits per call");
+        let mut v = 0u32;
+        for _ in 0..count {
+            v = (v << 1) | self.get_bit() as u32;
+        }
+        v
+    }
+}
+
+/// Flips bit `bit_index` (MSB-first order, matching [`BitWriter`]) in a byte
+/// buffer. No-op when the index is out of range.
+pub fn flip_bit(bytes: &mut [u8], bit_index: u64) {
+    let byte = (bit_index / 8) as usize;
+    if byte < bytes.len() {
+        bytes[byte] ^= 1 << (7 - (bit_index % 8));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0xDEAD, 16);
+        w.put_bit(true);
+        w.put_bits(0, 5);
+        assert_eq!(w.bit_len(), 25);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(3), 0b101);
+        assert_eq!(r.get_bits(16), 0xDEAD);
+        assert!(r.get_bit());
+        assert_eq!(r.get_bits(5), 0);
+    }
+
+    #[test]
+    fn reading_past_end_returns_zeros() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.get_bits(8), 0xFF);
+        assert_eq!(r.get_bits(32), 0);
+        assert!(r.exhausted());
+        assert_eq!(r.bit_pos(), 40);
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.put_bit(false);
+        assert_eq!(w.bit_len(), 1);
+        w.put_bits(0, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.put_bit(true);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn flip_bit_is_involutive_and_bounded() {
+        let mut b = vec![0u8; 2];
+        flip_bit(&mut b, 0);
+        assert_eq!(b[0], 0x80);
+        flip_bit(&mut b, 0);
+        assert_eq!(b[0], 0);
+        flip_bit(&mut b, 15);
+        assert_eq!(b[1], 0x01);
+        flip_bit(&mut b, 1000); // out of range: no-op
+        assert_eq!(b, vec![0, 1]);
+    }
+}

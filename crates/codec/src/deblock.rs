@@ -1,0 +1,147 @@
+//! In-loop deblocking filter.
+//!
+//! Block transforms plus coarse quantisation leave visible discontinuities
+//! at 4x4 block edges; H.264 removes them with an adaptive in-loop filter
+//! applied to the reconstruction *after* the whole frame is decoded (so
+//! intra prediction sees unfiltered samples, exactly as here) and *before*
+//! the frame is used as a reference. This is a faithful simplification of
+//! the H.264 design: one-tap edge smoothing with QP-adaptive thresholds
+//! (`alpha`/`beta` gates, `tc` clipping), applied to every internal 4x4
+//! edge.
+//!
+//! Encoder and decoder run the identical function on identical inputs, so
+//! the closed loop stays bit-exact.
+
+use vapp_media::Plane;
+
+/// Edge-activity gate: only filter edges whose step is plausibly a coding
+/// artefact (large real edges are left alone). Grows with QP.
+fn alpha(qp: u8) -> i32 {
+    // Roughly exponential in QP, clamped like the H.264 table endpoints.
+    (0.8 * f64::powf(2.0, qp as f64 / 6.0)).min(255.0) as i32
+}
+
+/// Local-gradient gate.
+fn beta(qp: u8) -> i32 {
+    (0.5 * qp as f64).min(18.0) as i32
+}
+
+/// Maximum per-pixel correction.
+fn tc(qp: u8) -> i32 {
+    (1 + qp as i32 / 10).min(25)
+}
+
+/// Filters one edge pair `(p1, p0 | q0, q1)`, returning the new
+/// `(p0, q0)`.
+#[inline]
+fn filter_pair(p1: i32, p0: i32, q0: i32, q1: i32, a: i32, b: i32, c: i32) -> (i32, i32) {
+    if (p0 - q0).abs() >= a || (p1 - p0).abs() >= b || (q1 - q0).abs() >= b {
+        return (p0, q0);
+    }
+    // H.263/H.264-style one-tap correction.
+    let delta = (((q0 - p0) * 4 + (p1 - q1) + 4) >> 3).clamp(-c, c);
+    ((p0 + delta).clamp(0, 255), (q0 - delta).clamp(0, 255))
+}
+
+/// Deblocks a reconstructed frame in place: all internal vertical and
+/// horizontal 4x4-block edges, with thresholds driven by the frame QP.
+pub fn deblock_plane(plane: &mut Plane, qp: u8) {
+    let a = alpha(qp);
+    let b = beta(qp);
+    let c = tc(qp);
+    let (w, h) = (plane.width(), plane.height());
+
+    // Vertical edges (filter across x = 4, 8, ...).
+    let mut x = 4;
+    while x < w {
+        for y in 0..h {
+            let p1 = plane.get(x - 2, y) as i32;
+            let p0 = plane.get(x - 1, y) as i32;
+            let q0 = plane.get(x, y) as i32;
+            let q1 = plane.sample(x as isize + 1, y as isize) as i32;
+            let (np0, nq0) = filter_pair(p1, p0, q0, q1, a, b, c);
+            plane.set(x - 1, y, np0 as u8);
+            plane.set(x, y, nq0 as u8);
+        }
+        x += 4;
+    }
+
+    // Horizontal edges (filter across y = 4, 8, ...).
+    let mut y = 4;
+    while y < h {
+        for x in 0..w {
+            let p1 = plane.get(x, y - 2) as i32;
+            let p0 = plane.get(x, y - 1) as i32;
+            let q0 = plane.get(x, y) as i32;
+            let q1 = plane.sample(x as isize, y as isize + 1) as i32;
+            let (np0, nq0) = filter_pair(p1, p0, q0, q1, a, b, c);
+            plane.set(x, y - 1, np0 as u8);
+            plane.set(x, y, nq0 as u8);
+        }
+        y += 4;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A plane with a sharp step at x = 8 (a block edge).
+    fn step_plane(step: u8) -> Plane {
+        let mut p = Plane::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                p.set(x, y, if x < 8 { 100 } else { 100 + step });
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn small_steps_are_smoothed() {
+        let mut p = step_plane(8);
+        deblock_plane(&mut p, 30);
+        // The edge pixels must have moved toward each other.
+        assert!(p.get(7, 5) > 100, "p0 untouched: {}", p.get(7, 5));
+        assert!(p.get(8, 5) < 108, "q0 untouched: {}", p.get(8, 5));
+    }
+
+    #[test]
+    fn large_real_edges_are_preserved() {
+        let mut p = step_plane(120);
+        let before = p.clone();
+        deblock_plane(&mut p, 24);
+        assert_eq!(p, before, "a 120-step real edge must not be filtered");
+    }
+
+    #[test]
+    fn flat_areas_are_untouched() {
+        let mut p = Plane::filled(32, 32, 77);
+        let before = p.clone();
+        deblock_plane(&mut p, 40);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn higher_qp_filters_more() {
+        let mut weak = step_plane(16);
+        let mut strong = step_plane(16);
+        deblock_plane(&mut weak, 10);
+        deblock_plane(&mut strong, 44);
+        let moved_weak = (weak.get(7, 3) as i32 - 100).abs();
+        let moved_strong = (strong.get(7, 3) as i32 - 100).abs();
+        assert!(
+            moved_strong >= moved_weak,
+            "qp 44 should filter at least as hard: {moved_weak} vs {moved_strong}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = step_plane(10);
+        let mut b = step_plane(10);
+        deblock_plane(&mut a, 28);
+        deblock_plane(&mut b, 28);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,392 @@
+//! Inter prediction: motion estimation and compensation.
+//!
+//! Integer-pel block matching with a full search around the predicted
+//! vector, per-partition refinement, and bi-prediction for B frames. The
+//! referenced pixel rectangles double as the temporal compensation
+//! dependencies VideoApp records (paper §4.1).
+
+use crate::types::MotionVector;
+use vapp_media::Plane;
+
+/// Hard bound on motion-vector components (also the decoder's clamp for
+/// corrupt data).
+pub const MV_LIMIT: i16 = 1 << 12;
+
+/// Result of a block motion search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Best motion vector found.
+    pub mv: MotionVector,
+    /// Its sum of absolute differences.
+    pub sad: u64,
+}
+
+/// Full search in a `±range` window around `center` for the `w x h` block
+/// of `cur` at `(x, y)`, matching against `reference`.
+///
+/// Ties break toward the vector closest to `center` (cheaper to code).
+pub fn motion_search(
+    cur: &Plane,
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    center: MotionVector,
+    range: i16,
+) -> SearchResult {
+    let mut best = SearchResult {
+        mv: center,
+        sad: u64::MAX,
+    };
+    let mut best_dist = i32::MAX;
+    for dy in -range..=range {
+        for dx in -range..=range {
+            let mv = MotionVector::new(
+                (center.x + dx).clamp(-MV_LIMIT, MV_LIMIT),
+                (center.y + dy).clamp(-MV_LIMIT, MV_LIMIT),
+            );
+            let sad = cur.sad(
+                x,
+                y,
+                w,
+                h,
+                reference,
+                x as isize + mv.x as isize,
+                y as isize + mv.y as isize,
+            );
+            let dist = (mv.x as i32 - center.x as i32).abs() + (mv.y as i32 - center.y as i32).abs();
+            if sad < best.sad || (sad == best.sad && dist < best_dist) {
+                best = SearchResult { mv, sad };
+                best_dist = dist;
+            }
+        }
+    }
+    best
+}
+
+/// Motion-compensates a `w x h` block: copies the block at
+/// `(x + mv.x, y + mv.y)` from the reference (clamped at borders).
+pub fn mc_block(reference: &Plane, x: usize, y: usize, w: usize, h: usize, mv: MotionVector) -> Vec<u8> {
+    let mut out = vec![0u8; w * h];
+    reference.copy_block(
+        x as isize + mv.x as isize,
+        y as isize + mv.y as isize,
+        w,
+        h,
+        &mut out,
+    );
+    out
+}
+
+/// Motion-compensates a block with **half-pel** precision: `mv` is in
+/// half-pel units; fractional positions are bilinearly interpolated
+/// (H.264 uses a 6-tap filter for luma half-pel; bilinear preserves the
+/// dependence structure at a fraction of the complexity).
+pub fn mc_block_halfpel(
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    mv: MotionVector,
+) -> Vec<u8> {
+    let bx = x as isize * 2 + mv.x as isize;
+    let by = y as isize * 2 + mv.y as isize;
+    let ix = bx.div_euclid(2);
+    let iy = by.div_euclid(2);
+    let fx = bx.rem_euclid(2) as u16;
+    let fy = by.rem_euclid(2) as u16;
+    let mut out = vec![0u8; w * h];
+    for oy in 0..h {
+        for ox in 0..w {
+            let px = ix + ox as isize;
+            let py = iy + oy as isize;
+            let p00 = reference.sample(px, py) as u16;
+            let v = match (fx, fy) {
+                (0, 0) => p00,
+                (1, 0) => (p00 + reference.sample(px + 1, py) as u16 + 1) >> 1,
+                (0, 1) => (p00 + reference.sample(px, py + 1) as u16 + 1) >> 1,
+                _ => {
+                    let p10 = reference.sample(px + 1, py) as u16;
+                    let p01 = reference.sample(px, py + 1) as u16;
+                    let p11 = reference.sample(px + 1, py + 1) as u16;
+                    (p00 + p10 + p01 + p11 + 2) >> 2
+                }
+            };
+            out[oy * w + ox] = v as u8;
+        }
+    }
+    out
+}
+
+/// Motion compensation at either precision: `mv` is in half-pel units
+/// when `subpel` is set, full-pel otherwise.
+pub fn mc_block_sub(
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    mv: MotionVector,
+    subpel: bool,
+) -> Vec<u8> {
+    if subpel {
+        mc_block_halfpel(reference, x, y, w, h, mv)
+    } else {
+        mc_block(reference, x, y, w, h, mv)
+    }
+}
+
+/// The reference rectangle a compensated block reads, for dependency
+/// recording: half-pel vectors widen the footprint by one pixel along
+/// each fractional axis.
+pub fn ref_rect(
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    mv: MotionVector,
+    subpel: bool,
+) -> vapp_media::Rect {
+    if !subpel {
+        return vapp_media::Rect::new(
+            x as isize + mv.x as isize,
+            y as isize + mv.y as isize,
+            w,
+            h,
+        );
+    }
+    let bx = x as isize * 2 + mv.x as isize;
+    let by = y as isize * 2 + mv.y as isize;
+    vapp_media::Rect::new(
+        bx.div_euclid(2),
+        by.div_euclid(2),
+        w + (bx.rem_euclid(2) != 0) as usize,
+        h + (by.rem_euclid(2) != 0) as usize,
+    )
+}
+
+/// Sum of absolute differences between the source block and an arbitrary
+/// prediction buffer.
+pub fn sad_against(cur: &Plane, x: usize, y: usize, w: usize, h: usize, pred: &[u8]) -> u64 {
+    debug_assert_eq!(pred.len(), w * h);
+    let mut total = 0u64;
+    for oy in 0..h {
+        for ox in 0..w {
+            let a = cur.sample((x + ox) as isize, (y + oy) as isize) as i32;
+            total += (a - pred[oy * w + ox] as i32).unsigned_abs() as u64;
+        }
+    }
+    total
+}
+
+/// Two-stage motion search: full-pel full search around `center` (given
+/// in the unit implied by `subpel`), then — with `subpel` — a ±1 half-pel
+/// refinement around the winner. The returned vector is in half-pel units
+/// when `subpel` is set.
+#[allow(clippy::too_many_arguments)]
+pub fn search_sub(
+    cur: &Plane,
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    center: MotionVector,
+    range: i16,
+    subpel: bool,
+) -> SearchResult {
+    if !subpel {
+        return motion_search(cur, reference, x, y, w, h, center, range);
+    }
+    let full_center = MotionVector::new(center.x / 2, center.y / 2);
+    let full = motion_search(cur, reference, x, y, w, h, full_center, range);
+    let base = MotionVector::new(full.mv.x * 2, full.mv.y * 2);
+    let mut best = SearchResult {
+        mv: base,
+        sad: full.sad,
+    };
+    for dy in -1i16..=1 {
+        for dx in -1i16..=1 {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let mv = MotionVector::new(
+                (base.x + dx).clamp(-MV_LIMIT, MV_LIMIT),
+                (base.y + dy).clamp(-MV_LIMIT, MV_LIMIT),
+            );
+            let pred = mc_block_halfpel(reference, x, y, w, h, mv);
+            let sad = sad_against(cur, x, y, w, h, &pred);
+            if sad < best.sad {
+                best = SearchResult { mv, sad };
+            }
+        }
+    }
+    best
+}
+
+/// Bi-prediction: rounds-to-nearest average of forward and backward
+/// compensation.
+///
+/// # Panics
+///
+/// Panics if the two blocks differ in length.
+pub fn bi_average(fwd: &[u8], bwd: &[u8]) -> Vec<u8> {
+    assert_eq!(fwd.len(), bwd.len(), "bi-prediction block size mismatch");
+    fwd.iter()
+        .zip(bwd)
+        .map(|(&a, &b)| ((a as u16 + b as u16 + 1) / 2) as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A plane with a distinctive patch at a given offset.
+    fn patch_plane(ox: usize, oy: usize) -> Plane {
+        let mut p = Plane::filled(64, 64, 50);
+        for y in 0..8 {
+            for x in 0..8 {
+                p.set(ox + x, oy + y, 200 + ((x * y) % 40) as u8);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn search_finds_known_translation() {
+        let reference = patch_plane(20, 24);
+        let cur = patch_plane(24, 26); // moved by (+4, +2)
+        let r = motion_search(&cur, &reference, 24, 26, 8, 8, MotionVector::ZERO, 8);
+        assert_eq!(r.mv, MotionVector::new(-4, -2));
+        assert_eq!(r.sad, 0);
+    }
+
+    #[test]
+    fn search_prefers_center_on_flat_content() {
+        let reference = Plane::filled(64, 64, 90);
+        let cur = Plane::filled(64, 64, 90);
+        let r = motion_search(&cur, &reference, 16, 16, 16, 16, MotionVector::ZERO, 4);
+        assert_eq!(r.mv, MotionVector::ZERO);
+        assert_eq!(r.sad, 0);
+    }
+
+    #[test]
+    fn search_centered_away_from_zero() {
+        let reference = patch_plane(20, 20);
+        let cur = patch_plane(30, 20);
+        // Center the window near the true vector; a small range suffices.
+        let r = motion_search(
+            &cur,
+            &reference,
+            30,
+            20,
+            8,
+            8,
+            MotionVector::new(-8, 0),
+            3,
+        );
+        assert_eq!(r.mv, MotionVector::new(-10, 0));
+    }
+
+    #[test]
+    fn mc_block_reproduces_reference() {
+        let reference = patch_plane(20, 24);
+        let got = mc_block(&reference, 4, 4, 8, 8, MotionVector::new(16, 20));
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(got[y * 8 + x], reference.get(20 + x, 24 + y));
+            }
+        }
+    }
+
+    #[test]
+    fn mc_block_clamps_outside_frame() {
+        let reference = patch_plane(0, 0);
+        let got = mc_block(&reference, 0, 0, 4, 4, MotionVector::new(-100, -100));
+        assert!(got.iter().all(|&v| v == reference.get(0, 0)));
+    }
+
+    #[test]
+    fn halfpel_integer_positions_match_fullpel() {
+        let reference = patch_plane(20, 24);
+        let full = mc_block(&reference, 4, 4, 8, 8, MotionVector::new(3, -2));
+        let half = mc_block_halfpel(&reference, 4, 4, 8, 8, MotionVector::new(6, -4));
+        assert_eq!(full, half);
+    }
+
+    #[test]
+    fn halfpel_interpolates_between_pixels() {
+        let mut reference = Plane::filled(32, 32, 100);
+        for y in 0..32 {
+            for x in 16..32 {
+                reference.set(x, y, 200);
+            }
+        }
+        // Sampling at x=15.5: average of 100 and 200 → 150.
+        let half = mc_block_halfpel(&reference, 15, 8, 1, 1, MotionVector::new(1, 0));
+        assert_eq!(half[0], 150);
+        // Diagonal half position averages four pixels.
+        let diag = mc_block_halfpel(&reference, 15, 8, 1, 1, MotionVector::new(1, 1));
+        assert_eq!(diag[0], 150);
+    }
+
+    #[test]
+    fn search_sub_finds_halfpel_motion() {
+        // A smooth ramp shifted by half a pixel: the half-pel candidate
+        // must beat every full-pel one.
+        let mut reference = Plane::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                reference.set(x, y, ((x * 4) % 256) as u8);
+            }
+        }
+        let mut cur = Plane::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                // Shift by 0.5 px: average of neighbours.
+                let a = reference.sample(x as isize, y as isize) as u16;
+                let b = reference.sample(x as isize + 1, y as isize) as u16;
+                cur.set(x, y, ((a + b + 1) / 2) as u8);
+            }
+        }
+        let r = search_sub(&cur, &reference, 16, 16, 16, 16, MotionVector::ZERO, 4, true);
+        // The ramp is constant vertically, so any y half-offset ties; the
+        // x component must be the half-pel shift.
+        assert_eq!(r.mv.x, 1, "mv {:?} sad {}", r.mv, r.sad);
+        assert_eq!(r.sad, 0);
+        let full = search_sub(&cur, &reference, 16, 16, 16, 16, MotionVector::ZERO, 4, false);
+        assert!(r.sad < full.sad, "half-pel must win: {} vs {}", r.sad, full.sad);
+    }
+
+    #[test]
+    fn ref_rect_widens_on_fractional_axes() {
+        let r = ref_rect(16, 16, 8, 8, MotionVector::new(4, 4), false);
+        assert_eq!((r.x, r.y, r.w, r.h), (20, 20, 8, 8));
+        let r = ref_rect(16, 16, 8, 8, MotionVector::new(8, 8), true);
+        assert_eq!((r.x, r.y, r.w, r.h), (20, 20, 8, 8));
+        let r = ref_rect(16, 16, 8, 8, MotionVector::new(9, 8), true);
+        assert_eq!((r.x, r.y, r.w, r.h), (20, 20, 9, 8));
+        let r = ref_rect(16, 16, 8, 8, MotionVector::new(-1, -3), true);
+        assert_eq!((r.x, r.y, r.w, r.h), (15, 14, 9, 9));
+    }
+
+    #[test]
+    fn sad_against_matches_plane_sad() {
+        let a = patch_plane(10, 10);
+        let b = patch_plane(12, 11);
+        let pred = mc_block(&b, 8, 8, 16, 16, MotionVector::ZERO);
+        assert_eq!(
+            sad_against(&a, 8, 8, 16, 16, &pred),
+            a.sad(8, 8, 16, 16, &b, 8, 8)
+        );
+    }
+
+    #[test]
+    fn bi_average_rounds_to_nearest() {
+        assert_eq!(bi_average(&[10, 255], &[11, 0]), vec![11, 128]);
+        assert_eq!(bi_average(&[100], &[100]), vec![100]);
+    }
+}

@@ -1,0 +1,155 @@
+//! The H.264 4x4 integer transform pair.
+//!
+//! Forward: `W = Cf · X · Cfᵀ` with the standard integer core matrix; the
+//! scaling normally folded into quantisation lives in
+//! [`crate::quant`]. Inverse: the shift-based H.264 inverse transform with
+//! final `(x + 32) >> 6` rounding. Encoder reconstruction and decoder use
+//! the *same* integer inverse path, so both always agree bit-exactly —
+//! which is what makes closed-loop prediction work.
+
+/// A 4x4 block of transform coefficients (or residuals), row-major.
+pub type Block4x4 = [i32; 16];
+
+/// Forward 4x4 core transform (no normalisation; see [`crate::quant`]).
+pub fn forward4x4(input: &Block4x4) -> Block4x4 {
+    let mut tmp = [0i32; 16];
+    // Transform rows: Cf * X.
+    for col in 0..4 {
+        let (a, b, c, d) = (
+            input[col],
+            input[4 + col],
+            input[8 + col],
+            input[12 + col],
+        );
+        let s0 = a + d;
+        let s1 = b + c;
+        let s2 = b - c;
+        let s3 = a - d;
+        tmp[col] = s0 + s1;
+        tmp[4 + col] = 2 * s3 + s2;
+        tmp[8 + col] = s0 - s1;
+        tmp[12 + col] = s3 - 2 * s2;
+    }
+    let mut out = [0i32; 16];
+    // Transform columns: (Cf * X) * Cf^T.
+    for row in 0..4 {
+        let base = row * 4;
+        let (a, b, c, d) = (tmp[base], tmp[base + 1], tmp[base + 2], tmp[base + 3]);
+        let s0 = a + d;
+        let s1 = b + c;
+        let s2 = b - c;
+        let s3 = a - d;
+        out[base] = s0 + s1;
+        out[base + 1] = 2 * s3 + s2;
+        out[base + 2] = s0 - s1;
+        out[base + 3] = s3 - 2 * s2;
+    }
+    out
+}
+
+/// Inverse 4x4 transform with H.264 rounding; input is *dequantised*
+/// coefficients, output is the residual.
+pub fn inverse4x4(input: &Block4x4) -> Block4x4 {
+    let mut tmp = [0i32; 16];
+    // Rows first.
+    for row in 0..4 {
+        let base = row * 4;
+        let (a, b, c, d) = (input[base], input[base + 1], input[base + 2], input[base + 3]);
+        let e0 = a + c;
+        let e1 = a - c;
+        let e2 = (b >> 1) - d;
+        let e3 = b + (d >> 1);
+        tmp[base] = e0 + e3;
+        tmp[base + 1] = e1 + e2;
+        tmp[base + 2] = e1 - e2;
+        tmp[base + 3] = e0 - e3;
+    }
+    let mut out = [0i32; 16];
+    // Then columns, with the final (x + 32) >> 6 rounding.
+    for col in 0..4 {
+        let (a, b, c, d) = (tmp[col], tmp[4 + col], tmp[8 + col], tmp[12 + col]);
+        let e0 = a + c;
+        let e1 = a - c;
+        let e2 = (b >> 1) - d;
+        let e3 = b + (d >> 1);
+        out[col] = (e0 + e3 + 32) >> 6;
+        out[4 + col] = (e1 + e2 + 32) >> 6;
+        out[8 + col] = (e1 - e2 + 32) >> 6;
+        out[12 + col] = (e0 - e3 + 32) >> 6;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::{dequantize, quantize};
+
+    #[test]
+    fn dc_block_transforms_to_dc_coefficient() {
+        let x = [10i32; 16];
+        let w = forward4x4(&x);
+        assert_eq!(w[0], 160); // 16 * 10
+        assert!(w[1..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let a: Block4x4 = core::array::from_fn(|i| (i as i32 * 7) % 23 - 11);
+        let b: Block4x4 = core::array::from_fn(|i| (i as i32 * 13) % 19 - 9);
+        let sum: Block4x4 = core::array::from_fn(|i| a[i] + b[i]);
+        let wa = forward4x4(&a);
+        let wb = forward4x4(&b);
+        let ws = forward4x4(&sum);
+        for i in 0..16 {
+            assert_eq!(ws[i], wa[i] + wb[i]);
+        }
+    }
+
+    #[test]
+    fn quantized_roundtrip_error_is_small_at_low_qp() {
+        // The canonical codec sanity check: transform → quantise → dequantise
+        // → inverse ≈ identity for small QP.
+        let residual: Block4x4 = core::array::from_fn(|i| ((i as i32 * 37) % 101) - 50);
+        let w = forward4x4(&residual);
+        for qp in [0u8, 4, 8] {
+            let levels = quantize(&w, qp, false);
+            let deq = dequantize(&levels, qp);
+            let rec = inverse4x4(&deq);
+            for i in 0..16 {
+                let err = (rec[i] - residual[i]).abs();
+                assert!(err <= 3 + qp as i32, "qp={qp} i={i} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_qp_gives_coarser_reconstruction() {
+        let residual: Block4x4 = core::array::from_fn(|i| ((i as i32 * 53) % 121) - 60);
+        let w = forward4x4(&residual);
+        let mut last_sse = 0i64;
+        let mut increased = false;
+        for qp in [4u8, 16, 28, 40] {
+            let levels = quantize(&w, qp, false);
+            let deq = dequantize(&levels, qp);
+            let rec = inverse4x4(&deq);
+            let sse: i64 = (0..16)
+                .map(|i| {
+                    let d = (rec[i] - residual[i]) as i64;
+                    d * d
+                })
+                .sum();
+            if sse > last_sse {
+                increased = true;
+            }
+            last_sse = sse;
+        }
+        assert!(increased, "quantisation error never grew with QP");
+    }
+
+    #[test]
+    fn inverse_of_zero_is_zero() {
+        let z = [0i32; 16];
+        assert_eq!(inverse4x4(&z), z);
+    }
+}

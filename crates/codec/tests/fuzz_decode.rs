@@ -1,0 +1,42 @@
+//! Decoder totality under arbitrary payload corruption: the property the
+//! whole approximate-storage design rests on.
+
+use proptest::prelude::*;
+use vapp_codec::{decode, Encoder, EncoderConfig, EntropyMode};
+use vapp_workloads::{ClipSpec, SceneKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decoder_is_total_under_arbitrary_corruption(
+        seed in 0u64..50,
+        xor_mask in 1u8..=255,
+        stride in 1usize..7,
+        entropy_cavlc in any::<bool>(),
+        truncate_den in 1usize..4,
+    ) {
+        let video = ClipSpec::new(48, 32, 6, SceneKind::MovingBlocks)
+            .seed(seed)
+            .generate();
+        let cfg = EncoderConfig {
+            keyint: 3,
+            bframes: 1,
+            entropy: if entropy_cavlc { EntropyMode::Cavlc } else { EntropyMode::Cabac },
+            ..EncoderConfig::default()
+        };
+        let mut stream = Encoder::new(cfg).encode(&video).stream;
+        for f in &mut stream.frames {
+            let keep = f.payload.len() / truncate_den;
+            f.payload.truncate(keep);
+            for b in f.payload.iter_mut().step_by(stride) {
+                *b ^= xor_mask;
+            }
+        }
+        // Must never panic, and must keep the declared geometry.
+        let decoded = decode(&stream);
+        prop_assert_eq!(decoded.len(), video.len());
+        prop_assert_eq!(decoded.width(), video.width());
+        prop_assert_eq!(decoded.height(), video.height());
+    }
+}

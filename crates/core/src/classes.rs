@@ -1,0 +1,231 @@
+//! Grouping bits by importance: equal-storage bins (§7.1) and log2
+//! importance classes (§7.2).
+
+use crate::importance::ImportanceMap;
+use std::ops::Range;
+use vapp_codec::AnalysisRecord;
+
+/// Bit offset of each coded frame's payload within the concatenation of
+/// all payloads (the global approximate-storage address space). One extra
+/// entry at the end holds the total.
+pub fn payload_layout(rec: &AnalysisRecord) -> Vec<u64> {
+    let mut bases = Vec::with_capacity(rec.frames.len() + 1);
+    let mut acc = 0u64;
+    for f in &rec.frames {
+        bases.push(acc);
+        acc += f.mbs.last().map_or(0, |m| m.bit_end);
+    }
+    bases.push(acc);
+    bases
+}
+
+/// `(importance, global payload bit range)` for every macroblock.
+pub fn mb_bit_ranges(rec: &AnalysisRecord, imp: &ImportanceMap) -> Vec<(f64, Range<u64>)> {
+    let bases = payload_layout(rec);
+    let mut out = Vec::with_capacity(rec.total_mbs());
+    for f in &rec.frames {
+        let base = bases[f.coding_index];
+        for (mb, a) in f.mbs.iter().enumerate() {
+            out.push((
+                imp.get(f.coding_index, mb),
+                base + a.bit_start..base + a.bit_end,
+            ));
+        }
+    }
+    out
+}
+
+/// One equal-storage bin (paper §7.1): bins are equal in bits so that
+/// quality differences between them come from importance, not from flip
+/// counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bin {
+    /// Bin number, 0 = least important.
+    pub index: usize,
+    /// Bits covered.
+    pub bits: u64,
+    /// Largest macroblock importance in the bin (Fig. 9b's y-value).
+    pub max_importance: f64,
+    /// Global payload bit ranges belonging to the bin.
+    pub ranges: Vec<Range<u64>>,
+}
+
+/// Sorts all macroblocks by importance and splits them into `n_bins`
+/// bins of (nearly) equal storage. Bin 0 holds the least important bits.
+///
+/// # Panics
+///
+/// Panics if `n_bins` is zero.
+pub fn equal_storage_bins(
+    rec: &AnalysisRecord,
+    imp: &ImportanceMap,
+    n_bins: usize,
+) -> Vec<Bin> {
+    assert!(n_bins > 0, "need at least one bin");
+    let mut mbs = mb_bit_ranges(rec, imp);
+    mbs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("importances are finite"));
+    let total: u64 = mbs.iter().map(|(_, r)| r.end - r.start).sum();
+
+    let mut bins = Vec::with_capacity(n_bins);
+    let mut cur = Bin {
+        index: 0,
+        bits: 0,
+        max_importance: 0.0,
+        ranges: Vec::new(),
+    };
+    let mut cumulative = 0u64;
+    for (importance, range) in mbs {
+        let len = range.end - range.start;
+        cur.bits += len;
+        cumulative += len;
+        cur.max_importance = cur.max_importance.max(importance);
+        cur.ranges.push(range);
+        // Close the bin once the cumulative total crosses its share — the
+        // boundary is cumulative so oversized macroblocks cannot starve
+        // later bins.
+        let boundary = (bins.len() as u64 + 1) * total / n_bins as u64;
+        if cumulative >= boundary && bins.len() < n_bins - 1 {
+            let index = cur.index;
+            bins.push(std::mem::replace(
+                &mut cur,
+                Bin {
+                    index: index + 1,
+                    bits: 0,
+                    max_importance: 0.0,
+                    ranges: Vec::new(),
+                },
+            ));
+        }
+    }
+    if cur.bits > 0 || bins.is_empty() {
+        bins.push(cur);
+    }
+    bins
+}
+
+/// One log2 importance class (paper §7.2): class `exp` holds macroblocks
+/// with `2^(exp-1) < importance ≤ 2^exp` (class 0: importance ≤ 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Class {
+    /// The class exponent `i` (importance ≤ 2^i).
+    pub exp: u32,
+    /// Bits owned by exactly this class.
+    pub bits: u64,
+    /// Macroblock count in the class.
+    pub mbs: usize,
+    /// Global payload bit ranges of this class.
+    pub ranges: Vec<Range<u64>>,
+}
+
+/// Partitions macroblocks into log2 importance classes (ascending `exp`,
+/// empty classes omitted). Cumulative views ("all MBs with importance
+/// ≤ 2^i", as Fig. 10 plots) are prefix unions of the returned classes.
+pub fn importance_classes(rec: &AnalysisRecord, imp: &ImportanceMap) -> Vec<Class> {
+    let mut by_exp: std::collections::BTreeMap<u32, Class> = std::collections::BTreeMap::new();
+    for (importance, range) in mb_bit_ranges(rec, imp) {
+        let exp = ImportanceMap::class_of(importance);
+        let class = by_exp.entry(exp).or_insert_with(|| Class {
+            exp,
+            bits: 0,
+            mbs: 0,
+            ranges: Vec::new(),
+        });
+        class.bits += range.end - range.start;
+        class.mbs += 1;
+        class.ranges.push(range);
+    }
+    by_exp.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DependencyGraph;
+    use vapp_codec::{Encoder, EncoderConfig};
+    use vapp_workloads::{ClipSpec, SceneKind};
+
+    fn setup() -> (AnalysisRecord, ImportanceMap) {
+        let video = ClipSpec::new(64, 48, 10, SceneKind::MovingBlocks).seed(6).generate();
+        let rec = Encoder::new(EncoderConfig {
+            keyint: 5,
+            bframes: 1,
+            ..Default::default()
+        })
+        .encode(&video)
+        .analysis;
+        let imp = ImportanceMap::compute(&DependencyGraph::from_analysis(&rec));
+        (rec, imp)
+    }
+
+    #[test]
+    fn layout_accumulates_frame_payloads() {
+        let (rec, _) = setup();
+        let bases = payload_layout(&rec);
+        assert_eq!(bases.len(), rec.frames.len() + 1);
+        assert!(bases.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*bases.last().unwrap() > 0);
+    }
+
+    #[test]
+    fn mb_ranges_tile_the_payload() {
+        let (rec, imp) = setup();
+        let mut ranges: Vec<Range<u64>> = mb_bit_ranges(&rec, &imp)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        ranges.sort_by_key(|r| r.start);
+        let total = *payload_layout(&rec).last().unwrap();
+        let covered: u64 = ranges.iter().map(|r| r.end - r.start).sum();
+        assert_eq!(covered, total, "MB spans must cover the payload exactly");
+        for w in ranges.windows(2) {
+            assert!(w[0].end <= w[1].start, "MB spans overlap");
+        }
+    }
+
+    #[test]
+    fn bins_are_equal_storage_and_ordered() {
+        let (rec, imp) = setup();
+        let bins = equal_storage_bins(&rec, &imp, 16);
+        assert_eq!(bins.len(), 16);
+        let total: u64 = bins.iter().map(|b| b.bits).sum();
+        let expect = *payload_layout(&rec).last().unwrap();
+        assert_eq!(total, expect);
+        // Nearly equal size: every bin within 2x of the ideal share.
+        let target = expect / 16;
+        for b in &bins[..15] {
+            assert!(
+                b.bits > target / 2 && b.bits < target * 2,
+                "bin {} holds {} bits (target {target})",
+                b.index,
+                b.bits
+            );
+        }
+        // Max importance must not decrease with bin index.
+        for w in bins.windows(2) {
+            assert!(w[0].max_importance <= w[1].max_importance);
+        }
+    }
+
+    #[test]
+    fn classes_partition_all_bits() {
+        let (rec, imp) = setup();
+        let classes = importance_classes(&rec, &imp);
+        assert!(!classes.is_empty());
+        let total: u64 = classes.iter().map(|c| c.bits).sum();
+        assert_eq!(total, *payload_layout(&rec).last().unwrap());
+        // Exponents strictly ascending, values plausible.
+        for w in classes.windows(2) {
+            assert!(w[0].exp < w[1].exp);
+        }
+        let max_exp = classes.last().unwrap().exp;
+        assert_eq!(max_exp, ImportanceMap::class_of(imp.max()));
+    }
+
+    #[test]
+    fn single_bin_holds_everything() {
+        let (rec, imp) = setup();
+        let bins = equal_storage_bins(&rec, &imp, 1);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].bits, *payload_layout(&rec).last().unwrap());
+    }
+}

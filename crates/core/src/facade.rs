@@ -1,0 +1,134 @@
+//! One-call facade over the whole analysis flow.
+//!
+//! [`VideoApp`] bundles encode → dependency graph → importance, and
+//! [`Processed`] exposes the derived views (bins, classes, pivots) so an
+//! application can go from raw video to an approximate-storage layout in
+//! a handful of lines.
+
+use crate::classes::{equal_storage_bins, importance_classes, Bin, Class};
+use crate::graph::DependencyGraph;
+use crate::importance::ImportanceMap;
+use crate::pivots::PivotTable;
+use vapp_codec::{AnalysisRecord, EncodedVideo, Encoder, EncoderConfig};
+use vapp_media::Video;
+
+/// The VideoApp analysis front end.
+///
+/// # Example
+///
+/// ```
+/// use vapp_media::{Frame, Video};
+/// use videoapp::VideoApp;
+///
+/// let video = Video::from_frames(vec![Frame::filled(32, 32, 90); 4], 25.0);
+/// let processed = VideoApp::default().process(&video);
+/// assert!(processed.importance.max() >= 1.0);
+/// let table = processed.pivot_table(&[8.0, 64.0]);
+/// assert_eq!(table.levels, 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VideoApp {
+    encoder: Encoder,
+}
+
+impl VideoApp {
+    /// Creates a front end with an encoder configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`vapp_codec::EncoderConfig`]).
+    pub fn new(cfg: EncoderConfig) -> Self {
+        VideoApp {
+            encoder: Encoder::new(cfg),
+        }
+    }
+
+    /// Encodes a raw video and runs the full importance analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `video` is empty.
+    pub fn process(&self, video: &Video) -> Processed {
+        let result = self.encoder.encode(video);
+        let graph = DependencyGraph::from_analysis(&result.analysis);
+        let importance = ImportanceMap::compute(&graph);
+        Processed {
+            stream: result.stream,
+            reconstruction: result.reconstruction,
+            analysis: result.analysis,
+            graph,
+            importance,
+        }
+    }
+}
+
+/// The products of [`VideoApp::process`].
+#[derive(Clone, Debug)]
+pub struct Processed {
+    /// The coded stream (precise headers + approximable payload).
+    pub stream: EncodedVideo,
+    /// The encoder's reconstruction (= error-free decode), display order.
+    pub reconstruction: Video,
+    /// Per-macroblock bit spans and dependencies.
+    pub analysis: AnalysisRecord,
+    /// The weighted dependency graph.
+    pub graph: DependencyGraph,
+    /// Per-macroblock importance.
+    pub importance: ImportanceMap,
+}
+
+impl Processed {
+    /// Equal-storage importance bins (paper §7.1).
+    pub fn bins(&self, n_bins: usize) -> Vec<Bin> {
+        equal_storage_bins(&self.analysis, &self.importance, n_bins)
+    }
+
+    /// Log2 importance classes (paper §7.2).
+    pub fn classes(&self) -> Vec<Class> {
+        importance_classes(&self.analysis, &self.importance)
+    }
+
+    /// Builds the pivot table for the given importance thresholds.
+    pub fn pivot_table(&self, thresholds: &[f64]) -> PivotTable {
+        PivotTable::build(&self.analysis, &self.importance, thresholds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapp_workloads::{ClipSpec, SceneKind};
+
+    #[test]
+    fn facade_produces_consistent_views() {
+        let video = ClipSpec::new(64, 48, 8, SceneKind::MovingBlocks)
+            .seed(77)
+            .generate();
+        let processed = VideoApp::new(EncoderConfig {
+            keyint: 4,
+            bframes: 1,
+            ..Default::default()
+        })
+        .process(&video);
+
+        assert_eq!(processed.reconstruction.len(), video.len());
+        let bins = processed.bins(8);
+        assert_eq!(bins.len(), 8);
+        let classes = processed.classes();
+        let bin_bits: u64 = bins.iter().map(|b| b.bits).sum();
+        let class_bits: u64 = classes.iter().map(|c| c.bits).sum();
+        assert_eq!(bin_bits, class_bits);
+        let table = processed.pivot_table(&[4.0]);
+        assert_eq!(table.level_bits().iter().sum::<u64>(), bin_bits);
+    }
+
+    #[test]
+    fn default_facade_works() {
+        let video = ClipSpec::new(48, 32, 3, SceneKind::NoisyStatic)
+            .seed(1)
+            .generate();
+        let processed = VideoApp::default().process(&video);
+        assert!(processed.stream.payload_bits() > 0);
+    }
+}

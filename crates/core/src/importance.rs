@@ -1,0 +1,253 @@
+//! Macroblock importance (paper §4.3).
+//!
+//! Importance of a macroblock ≈ the number of macroblocks a bit flip
+//! there would damage, computed by the paper's eight-step algorithm:
+//!
+//! 1–4. On the *compensation-only* graph: initialise every node to 1,
+//!      topologically sort, then walk the order backwards adding each
+//!      node's weighted child importances. Afterwards each node holds the
+//!      number of MBs an error would reach through compensation.
+//! 5–8. On the *coding-only* graph (the in-slice scan chain, weight 1):
+//!      seed with the compensation importances and do the same backward
+//!      accumulation.
+//!
+//! Compensation deps append to coding deps but not vice versa (§4.3),
+//! which is why the passes run in this order.
+
+use crate::graph::DependencyGraph;
+
+/// Per-macroblock importance values for a coded video.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImportanceMap {
+    mbs_per_frame: usize,
+    values: Vec<f64>,
+}
+
+impl ImportanceMap {
+    /// Runs the full eight-step algorithm on a dependency graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compensation graph has a cycle (impossible for valid
+    /// encoder output).
+    pub fn compute(graph: &DependencyGraph) -> Self {
+        let comp = compensation_pass(graph);
+        let values = coding_pass(graph, comp);
+        ImportanceMap {
+            mbs_per_frame: graph.mbs_per_frame(),
+            values,
+        }
+    }
+
+    /// Streaming variant (paper §4.3.1): compensation importances are
+    /// computed independently per GOP (the connected components between
+    /// I-frames), then the coding pass runs per frame. Yields the same
+    /// values as [`ImportanceMap::compute`] because no compensation edge
+    /// crosses an I-frame boundary.
+    pub fn compute_streaming(graph: &DependencyGraph) -> Self {
+        let mut comp = vec![1.0f64; graph.node_count()];
+        let per = graph.mbs_per_frame();
+        let components = graph.gop_components();
+        let segments = components.iter().copied().max().map_or(0, |m| m + 1);
+        for seg in 0..segments {
+            // Nodes of this component in ascending (topological) id order.
+            let nodes: Vec<usize> = (0..graph.frames())
+                .filter(|&ci| components[ci] == seg)
+                .flat_map(|ci| ci * per..(ci + 1) * per)
+                .collect();
+            // Backward accumulation restricted to this component; closed
+            // GOPs guarantee edges stay inside it.
+            for &node in nodes.iter().rev() {
+                let mut acc = 1.0;
+                for &(dest, w) in graph.comp_children(node) {
+                    debug_assert_eq!(
+                        components[dest / per],
+                        seg,
+                        "compensation edge escapes its GOP component"
+                    );
+                    acc += w * comp[dest];
+                }
+                comp[node] = acc;
+            }
+        }
+        let values = coding_pass(graph, comp);
+        ImportanceMap {
+            mbs_per_frame: graph.mbs_per_frame(),
+            values,
+        }
+    }
+
+    /// Importance of `(coding frame, mb)`.
+    pub fn get(&self, frame: usize, mb: usize) -> f64 {
+        self.values[frame * self.mbs_per_frame + mb]
+    }
+
+    /// All values, node-id order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Macroblocks per frame.
+    pub fn mbs_per_frame(&self) -> usize {
+        self.mbs_per_frame
+    }
+
+    /// The largest importance in the video.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(1.0, f64::max)
+    }
+
+    /// The importance class of a value on the paper's log2 scale: the
+    /// smallest `i` with `importance ≤ 2^i` (§7.2).
+    pub fn class_of(value: f64) -> u32 {
+        assert!(value >= 0.0, "importance cannot be negative");
+        value.max(1.0).log2().ceil() as u32
+    }
+}
+
+/// Steps 1–4 on the full graph (global topological order).
+fn compensation_pass(graph: &DependencyGraph) -> Vec<f64> {
+    let order = graph
+        .topo_sort_comp()
+        .expect("compensation graph must be acyclic");
+    let mut imp = vec![1.0f64; graph.node_count()];
+    for &node in order.iter().rev() {
+        let mut acc = 1.0;
+        for &(dest, w) in graph.comp_children(node) {
+            acc += w * imp[dest];
+        }
+        imp[node] = acc;
+    }
+    imp
+}
+
+/// Steps 5–8: per-frame coding chains (weight-1 linked lists).
+fn coding_pass(graph: &DependencyGraph, seed: Vec<f64>) -> Vec<f64> {
+    let mut imp = seed;
+    // The chain within each slice: process in reverse node order — every
+    // coding child has a higher id.
+    for node in (0..graph.node_count()).rev() {
+        if let Some(next) = graph.coding_child(node) {
+            imp[node] += imp[next];
+        }
+    }
+    imp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapp_codec::{Encoder, EncoderConfig, FrameType};
+    use vapp_workloads::{ClipSpec, SceneKind};
+
+    fn importance_for(keyint: u16, bframes: u8, slices: u8) -> (DependencyGraph, ImportanceMap) {
+        let video = ClipSpec::new(64, 48, 12, SceneKind::MovingBlocks).seed(4).generate();
+        let rec = Encoder::new(EncoderConfig {
+            keyint,
+            bframes,
+            slices,
+            ..Default::default()
+        })
+        .encode(&video)
+        .analysis;
+        let g = DependencyGraph::from_analysis(&rec);
+        let m = ImportanceMap::compute(&g);
+        (g, m)
+    }
+
+    #[test]
+    fn importance_at_least_one() {
+        let (_, m) = importance_for(6, 2, 1);
+        assert!(m.values().iter().all(|&v| v >= 1.0 - 1e-12));
+        assert!(m.max() > 1.0);
+    }
+
+    #[test]
+    fn within_frame_importance_is_strictly_decreasing() {
+        // Paper §4.4: the coding chain imposes a strictly decreasing order
+        // of MBs within a frame (per slice) — the basis for pivots.
+        let (g, m) = importance_for(6, 2, 1);
+        let per = g.mbs_per_frame();
+        for f in 0..g.frames() {
+            for mb in 0..per - 1 {
+                let a = m.get(f, mb);
+                let b = m.get(f, mb + 1);
+                assert!(a > b, "frame {f} mb {mb}: {a} !> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_frames_matter_more_than_late_b_frames() {
+        let (g, m) = importance_for(12, 2, 1);
+        let per = g.mbs_per_frame();
+        // The I frame's first MB damages (nearly) everything; a B frame's
+        // last MB damages only itself.
+        let i_first = m.get(0, 0);
+        let mut b_last = f64::MAX;
+        for (ci, &t) in g.frame_types().iter().enumerate() {
+            if t == FrameType::B {
+                b_last = b_last.min(m.get(ci, per - 1));
+            }
+        }
+        assert!(i_first > 10.0 * b_last, "I {i_first} vs B {b_last}");
+    }
+
+    #[test]
+    fn unreferenced_b_frame_tail_has_importance_one() {
+        let (g, m) = importance_for(12, 2, 1);
+        let per = g.mbs_per_frame();
+        // The last MB of a B frame with no intra dependents: importance 1.
+        let mut found = false;
+        for (ci, &t) in g.frame_types().iter().enumerate() {
+            if t != FrameType::B {
+                continue;
+            }
+            let node = ci * per + per - 1;
+            if g.comp_children(node).is_empty() {
+                assert!((m.get(ci, per - 1) - 1.0).abs() < 1e-9);
+                found = true;
+            }
+        }
+        assert!(found, "no unreferenced B-frame tail found");
+    }
+
+    #[test]
+    fn streaming_matches_global() {
+        let video = ClipSpec::new(64, 48, 16, SceneKind::Panning).seed(5).generate();
+        let rec = Encoder::new(EncoderConfig {
+            keyint: 4,
+            bframes: 1,
+            ..Default::default()
+        })
+        .encode(&video)
+        .analysis;
+        let g = DependencyGraph::from_analysis(&rec);
+        let global = ImportanceMap::compute(&g);
+        let streaming = ImportanceMap::compute_streaming(&g);
+        for (a, b) in global.values().iter().zip(streaming.values()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn class_of_log2_scale() {
+        assert_eq!(ImportanceMap::class_of(1.0), 0);
+        assert_eq!(ImportanceMap::class_of(2.0), 1);
+        assert_eq!(ImportanceMap::class_of(2.1), 2);
+        assert_eq!(ImportanceMap::class_of(1000.0), 10);
+        assert_eq!(ImportanceMap::class_of(0.5), 0);
+    }
+
+    #[test]
+    fn shorter_gops_reduce_max_importance() {
+        let (_, long_gop) = importance_for(12, 0, 1);
+        let (_, short_gop) = importance_for(3, 0, 1);
+        assert!(
+            long_gop.max() > short_gop.max(),
+            "long {} vs short {}",
+            long_gop.max(),
+            short_gop.max()
+        );
+    }
+}

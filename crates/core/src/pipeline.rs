@@ -1,0 +1,493 @@
+//! The end-to-end approximate video store: split → protect → store on the
+//! MLC substrate → corrupt → correct → merge → decode → measure.
+//!
+//! Storage simulation runs per protection stream in 512-bit blocks. Two
+//! block simulators are available: `exact` drives the real BCH
+//! encoder/decoder bit by bit (used in tests and small runs), while the
+//! default analytic simulator draws block failures from the binomial-tail
+//! failure rate — statistically equivalent and orders of magnitude
+//! faster, which matters at 30 Monte Carlo trials per data point (§6.4).
+
+use crate::assignment::{Assignment, EcScheme};
+use crate::pivots::PivotTable;
+use crate::streams::{merge_streams, split_streams};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::ops::Range;
+use vapp_codec::{bitstream, decode, EncodedVideo};
+use vapp_media::Video;
+use vapp_metrics::{prob_any_flip, video_psnr};
+use vapp_sim::{pick_k_positions, pick_positions, pick_positions_forced};
+use vapp_storage::bch::{Bch, DecodeOutcome, DATA_BITS};
+use vapp_storage::bits::BitBuf;
+use vapp_storage::density;
+
+/// How and where the payload is stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoragePolicy {
+    /// Scheme per pivot level (weakest first).
+    pub ladder_levels: Vec<EcScheme>,
+    /// Importance thresholds between levels (for pivot construction).
+    pub thresholds: Vec<f64>,
+    /// Raw bit error rate of the substrate (the paper's 1e-3).
+    pub raw_ber: f64,
+    /// Use the exact BCH machinery instead of the analytic block model.
+    pub exact_bch: bool,
+}
+
+impl StoragePolicy {
+    /// Builds the policy implied by a §7.2 assignment.
+    pub fn from_assignment(a: &Assignment, raw_ber: f64) -> Self {
+        let (thresholds, ladder_levels) = a.thresholds();
+        StoragePolicy {
+            ladder_levels,
+            thresholds,
+            raw_ber,
+            exact_bch: false,
+        }
+    }
+
+    /// Uniform protection: every payload bit gets `scheme` (the paper's
+    /// baseline design in Fig. 11).
+    pub fn uniform(scheme: EcScheme, raw_ber: f64) -> Self {
+        StoragePolicy {
+            ladder_levels: vec![scheme],
+            thresholds: Vec::new(),
+            raw_ber,
+            exact_bch: false,
+        }
+    }
+
+    /// Scheme for a pivot level index.
+    pub fn scheme_for_level(&self, level: usize) -> EcScheme {
+        self.ladder_levels[level.min(self.ladder_levels.len() - 1)]
+    }
+}
+
+/// The approximate store.
+#[derive(Clone, Debug)]
+pub struct ApproxStore {
+    policy: StoragePolicy,
+}
+
+impl ApproxStore {
+    /// Creates a store with a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy has no levels or an invalid error rate.
+    pub fn new(policy: StoragePolicy) -> Self {
+        assert!(!policy.ladder_levels.is_empty(), "policy needs levels");
+        assert!(
+            (0.0..=1.0).contains(&policy.raw_ber),
+            "raw BER must be a probability"
+        );
+        ApproxStore { policy }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> &StoragePolicy {
+        &self.policy
+    }
+
+    /// Simulates one store/load round trip: returns the (possibly
+    /// corrupted) stream a reader would decode. Headers and pivots are
+    /// precise by construction and pass through untouched (§4.4).
+    pub fn store_load(
+        &self,
+        stream: &EncodedVideo,
+        table: &PivotTable,
+        rng: &mut StdRng,
+    ) -> EncodedVideo {
+        let mut streams = split_streams(stream, table);
+        for level in 0..streams.level_data.len() {
+            let scheme = self.policy.scheme_for_level(level);
+            let bits = streams.level_bits[level];
+            corrupt_stream_bits(
+                &mut streams.level_data[level],
+                bits,
+                scheme,
+                self.policy.raw_ber,
+                self.policy.exact_bch,
+                rng,
+            );
+        }
+        merge_streams(stream, table, &streams)
+    }
+
+    /// Storage accounting for Fig. 11 and the headline numbers.
+    pub fn report(&self, stream: &EncodedVideo, table: &PivotTable, pixels: u64) -> PipelineReport {
+        let level_bits = table.level_bits();
+        let level_schemes: Vec<EcScheme> = (0..level_bits.len())
+            .map(|l| self.policy.scheme_for_level(l))
+            .collect();
+        let payload_bits: u64 = level_bits.iter().sum();
+        let header_bits = stream.header_bits();
+        let pivot_bits = table.bookkeeping_bits();
+        let precise_overhead = EcScheme::PRECISE.overhead();
+
+        let payload_cells: f64 = level_bits
+            .iter()
+            .zip(&level_schemes)
+            .map(|(&b, s)| density::cells_for(b, s.overhead(), 3))
+            .sum();
+        let meta_cells = density::cells_for(header_bits + pivot_bits, precise_overhead, 3);
+        let total_cells_mlc = payload_cells + meta_cells;
+
+        let all_bits = payload_bits + header_bits;
+        let cells_slc = density::cells_for(all_bits, 0.0, 1);
+        let cells_ideal = density::cells_for(all_bits, 0.0, 3);
+        let cells_uniform = density::cells_for(payload_bits, precise_overhead, 3)
+            + density::cells_for(header_bits, precise_overhead, 3);
+
+        let avg_payload_overhead = if payload_bits == 0 {
+            0.0
+        } else {
+            level_bits
+                .iter()
+                .zip(&level_schemes)
+                .map(|(&b, s)| s.overhead() * b as f64)
+                .sum::<f64>()
+                / payload_bits as f64
+        };
+
+        PipelineReport {
+            pixels,
+            payload_bits,
+            header_bits,
+            pivot_bits,
+            level_bits,
+            level_schemes,
+            avg_payload_overhead,
+            total_cells_mlc,
+            cells_slc,
+            cells_ideal,
+            cells_uniform,
+        }
+    }
+}
+
+/// Corrupts one protection stream in place (MSB-first bit order, matching
+/// the codec payloads).
+fn corrupt_stream_bits(
+    data: &mut [u8],
+    bits: u64,
+    scheme: EcScheme,
+    raw_ber: f64,
+    exact: bool,
+    rng: &mut StdRng,
+) {
+    if bits == 0 || raw_ber == 0.0 {
+        return;
+    }
+    match scheme {
+        EcScheme::None => {
+            for pos in pick_positions(&[0..bits], raw_ber, rng) {
+                bitstream::flip_bit(data, pos);
+            }
+        }
+        EcScheme::Bch(t) if !exact => {
+            // Analytic block model: each 512-bit block fails independently
+            // with the binomial-tail probability; a failed block keeps
+            // t + 1 raw errors (the dominant tail term).
+            let code = Bch::new(t as usize);
+            let q = vapp_storage::uber::block_failure_rate(&code, raw_ber);
+            let blocks = bits.div_ceil(DATA_BITS as u64);
+            for b in 0..blocks {
+                if !rng.random_bool(q) {
+                    continue;
+                }
+                let start = b * DATA_BITS as u64;
+                let end = ((b + 1) * DATA_BITS as u64).min(bits);
+                for pos in pick_k_positions(&[start..end], t as u64 + 1, rng) {
+                    bitstream::flip_bit(data, pos);
+                }
+            }
+        }
+        EcScheme::Bch(t) => {
+            // Exact model: run the real code per block.
+            let code = Bch::new(t as usize);
+            let blocks = bits.div_ceil(DATA_BITS as u64);
+            for b in 0..blocks {
+                let start = b * DATA_BITS as u64;
+                let end = ((b + 1) * DATA_BITS as u64).min(bits);
+                let mut block = BitBuf::zeroed(DATA_BITS);
+                for (j, pos) in (start..end).enumerate() {
+                    block.set(j, msb_get(data, pos));
+                }
+                let mut cw = code.encode(&block);
+                let flips = pick_positions(&[0..cw.len() as u64], raw_ber, rng);
+                for f in &flips {
+                    cw.flip(*f as usize);
+                }
+                match code.decode(&mut cw) {
+                    DecodeOutcome::Clean | DecodeOutcome::Corrected(_) => {
+                        // Either no errors or all corrected: data intact.
+                    }
+                    DecodeOutcome::Uncorrectable => {
+                        // Deliver the damaged data bits as read.
+                        let dirty = code.extract_data(&cw);
+                        for (j, pos) in (start..end).enumerate() {
+                            msb_set(data, pos, dirty.get(j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn msb_get(bytes: &[u8], i: u64) -> bool {
+    let byte = (i / 8) as usize;
+    byte < bytes.len() && (bytes[byte] >> (7 - (i % 8))) & 1 == 1
+}
+
+#[inline]
+fn msb_set(bytes: &mut [u8], i: u64, v: bool) {
+    let byte = (i / 8) as usize;
+    if byte >= bytes.len() {
+        return;
+    }
+    let mask = 1u8 << (7 - (i % 8));
+    if v {
+        bytes[byte] |= mask;
+    } else {
+        bytes[byte] &= !mask;
+    }
+}
+
+/// Density/overhead accounting for one stored video (Fig. 11 inputs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineReport {
+    /// Raw pixel count of the video.
+    pub pixels: u64,
+    /// Approximable payload bits.
+    pub payload_bits: u64,
+    /// Precise header bits (stream + frame headers).
+    pub header_bits: u64,
+    /// Precise pivot bookkeeping bits.
+    pub pivot_bits: u64,
+    /// Payload bits per protection level.
+    pub level_bits: Vec<u64>,
+    /// Scheme per protection level.
+    pub level_schemes: Vec<EcScheme>,
+    /// Bit-weighted average payload ECC overhead.
+    pub avg_payload_overhead: f64,
+    /// Cells used by this (variable-correction) design.
+    pub total_cells_mlc: f64,
+    /// Cells used by the SLC baseline (1 bit/cell, no ECC).
+    pub cells_slc: f64,
+    /// Cells used by an ideal error-free 3-bit/cell design.
+    pub cells_ideal: f64,
+    /// Cells used by uniform BCH-16 on the same MLC substrate.
+    pub cells_uniform: f64,
+}
+
+impl PipelineReport {
+    /// Fig. 11's x-axis: storage cells per encoded pixel.
+    pub fn cells_per_pixel(&self) -> f64 {
+        density::cells_per_pixel(self.total_cells_mlc, self.pixels)
+    }
+
+    /// Density relative to the SLC design (the paper reports 2.57x).
+    pub fn density_vs_slc(&self) -> f64 {
+        density::relative_density(self.total_cells_mlc, self.cells_slc)
+    }
+
+    /// Storage saved relative to uniformly corrected MLC (paper: 12.5%).
+    pub fn savings_vs_uniform(&self) -> f64 {
+        1.0 - self.total_cells_mlc / self.cells_uniform
+    }
+
+    /// Fraction of the error-correction overhead eliminated (paper: 47%).
+    pub fn ec_overhead_reduction(&self) -> f64 {
+        density::overhead_reduction(EcScheme::PRECISE.overhead(), self.avg_payload_overhead)
+    }
+}
+
+/// Flips payload bits of a stream at *global* payload positions (the
+/// address space of [`crate::classes::payload_layout`]).
+pub fn flip_global_bits(stream: &mut EncodedVideo, positions: &[u64]) {
+    let mut bases = Vec::with_capacity(stream.frames.len() + 1);
+    let mut acc = 0u64;
+    for f in &stream.frames {
+        bases.push(acc);
+        acc += f.payload_bits();
+    }
+    bases.push(acc);
+    for &pos in positions {
+        let frame = match bases.binary_search(&pos) {
+            Ok(i) => i.min(stream.frames.len() - 1),
+            Err(i) => i - 1,
+        };
+        if frame < stream.frames.len() {
+            bitstream::flip_bit(&mut stream.frames[frame].payload, pos - bases[frame]);
+        }
+    }
+}
+
+/// Measures a cumulative quality-loss curve (Fig. 9a / Fig. 10a style):
+/// injects errors at each rate into `ranges` (global payload bit space),
+/// decodes, and records the worst quality change across trials —
+/// `PSNR(original, damaged) − PSNR(original, error-free)`, the paper's
+/// "quality change (dB)" — applying the §6.4 forced-flip scaling at very
+/// low rates.
+pub fn measure_loss_curve(
+    stream: &EncodedVideo,
+    original: &Video,
+    ranges: &[Range<u64>],
+    rates: &[f64],
+    trials: vapp_sim::Trials,
+) -> crate::assignment::LossCurve {
+    let error_free = decode(stream);
+    let baseline = video_psnr(original, &error_free);
+    let mut points = Vec::with_capacity(rates.len());
+    let total_bits = vapp_sim::total_bits(ranges);
+    for &rate in rates {
+        let losses = trials.run(|_, rng| {
+            let draw = pick_positions_forced(ranges, rate, rng);
+            if draw.positions.is_empty() {
+                return 0.0;
+            }
+            let mut dirty = stream.clone();
+            flip_global_bits(&mut dirty, &draw.positions);
+            let decoded = decode(&dirty);
+            let delta = (video_psnr(original, &decoded) - baseline).min(0.0);
+            if draw.forced {
+                delta * prob_any_flip(total_bits, rate)
+            } else {
+                delta
+            }
+        });
+        let worst = losses.iter().copied().fold(0.0f64, f64::min);
+        points.push((rate, worst));
+    }
+    crate::assignment::LossCurve::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DependencyGraph;
+    use crate::importance::ImportanceMap;
+    use rand::SeedableRng;
+    use vapp_codec::{Encoder, EncoderConfig};
+    use vapp_workloads::{ClipSpec, SceneKind};
+
+    fn setup() -> (EncodedVideo, Video, PivotTable) {
+        let video = ClipSpec::new(64, 48, 6, SceneKind::MovingBlocks).seed(11).generate();
+        let result = Encoder::new(EncoderConfig {
+            keyint: 3,
+            bframes: 1,
+            ..Default::default()
+        })
+        .encode(&video);
+        let imp = ImportanceMap::compute(&DependencyGraph::from_analysis(&result.analysis));
+        let table = PivotTable::build(&result.analysis, &imp, &[8.0, 64.0]);
+        (result.stream, result.reconstruction, table)
+    }
+
+    #[test]
+    fn precise_policy_is_lossless_in_practice() {
+        let (stream, recon, table) = setup();
+        let policy = StoragePolicy {
+            ladder_levels: vec![EcScheme::Bch(16); 3],
+            thresholds: vec![8.0, 64.0],
+            raw_ber: 1e-3,
+            exact_bch: false,
+        };
+        let store = ApproxStore::new(policy);
+        let mut rng = StdRng::seed_from_u64(3);
+        let loaded = store.store_load(&stream, &table, &mut rng);
+        // Block failure at 1e-17.8: zero failures, stream byte-identical.
+        assert_eq!(loaded, stream);
+        assert_eq!(decode(&loaded), recon);
+    }
+
+    #[test]
+    fn unprotected_policy_corrupts_and_still_decodes() {
+        let (stream, recon, table) = setup();
+        let store = ApproxStore::new(StoragePolicy::uniform(EcScheme::None, 1e-2));
+        let mut rng = StdRng::seed_from_u64(4);
+        let loaded = store.store_load(&stream, &table, &mut rng);
+        assert_ne!(loaded, stream, "1e-2 over thousands of bits must flip");
+        let decoded = decode(&loaded);
+        assert_eq!(decoded.len(), recon.len());
+        assert!(video_psnr(&recon, &decoded) < vapp_metrics::PSNR_CAP);
+    }
+
+    #[test]
+    fn exact_bch_agrees_with_analytic_at_extremes() {
+        let (stream, _, table) = setup();
+        // At a raw BER so high BCH-6 almost always fails, both simulators
+        // corrupt; at raw 0 both are clean.
+        for &(raw, expect_dirty) in &[(0.0f64, false), (0.08, true)] {
+            for exact in [false, true] {
+                let mut policy = StoragePolicy::uniform(EcScheme::Bch(6), raw);
+                policy.exact_bch = exact;
+                let store = ApproxStore::new(policy);
+                let mut rng = StdRng::seed_from_u64(5);
+                let loaded = store.store_load(&stream, &table, &mut rng);
+                assert_eq!(
+                    loaded != stream,
+                    expect_dirty,
+                    "raw {raw} exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_arithmetic_is_consistent() {
+        let (stream, _, table) = setup();
+        let policy = StoragePolicy {
+            ladder_levels: vec![EcScheme::None, EcScheme::Bch(6), EcScheme::Bch(10)],
+            thresholds: vec![8.0, 64.0],
+            raw_ber: 1e-3,
+            exact_bch: false,
+        };
+        let store = ApproxStore::new(policy);
+        let report = store.report(&stream, &table, 64 * 48 * 6);
+        assert_eq!(report.payload_bits, stream.payload_bits());
+        assert!(report.avg_payload_overhead > 0.0);
+        assert!(report.avg_payload_overhead < EcScheme::Bch(16).overhead());
+        assert!(report.total_cells_mlc < report.cells_uniform);
+        assert!(report.total_cells_mlc > report.cells_ideal);
+        assert!(report.density_vs_slc() > 2.0);
+        assert!(report.ec_overhead_reduction() > 0.0);
+        assert!(report.savings_vs_uniform() > 0.0);
+        assert!(report.cells_per_pixel() > 0.0);
+    }
+
+    #[test]
+    fn flip_global_bits_lands_in_the_right_frame() {
+        let (stream, _, _) = setup();
+        let mut dirty = stream.clone();
+        let base1 = stream.payload_base_bits(1);
+        flip_global_bits(&mut dirty, &[base1]); // first bit of frame 1
+        assert_eq!(dirty.frames[0].payload, stream.frames[0].payload);
+        assert_ne!(dirty.frames[1].payload, stream.frames[1].payload);
+    }
+
+    #[test]
+    fn loss_curve_is_monotone_in_rate() {
+        let (stream, recon, _) = setup();
+        let error_free = decode(&stream);
+        assert_eq!(error_free, recon);
+        let total = stream.payload_bits();
+        // Use the reconstruction as the "original" — the baseline is then
+        // the PSNR cap, and damage pushes it down.
+        let curve = measure_loss_curve(
+            &stream,
+            &recon,
+            &[0..total],
+            &[1e-5, 1e-3, 1e-2],
+            vapp_sim::Trials::new(3, 77),
+        );
+        let l_low = curve.loss_at(1e-5);
+        let l_high = curve.loss_at(1e-2);
+        assert!(l_high <= l_low, "low {l_low} high {l_high}");
+        assert!(l_high < 0.0, "1e-2 must hurt");
+    }
+}

@@ -1,0 +1,236 @@
+//! Pivot-based reliability bookkeeping (paper §4.4, Fig. 6).
+//!
+//! Within a frame (per slice), the coding-error chain makes macroblock
+//! importance strictly decreasing in scan order, so the per-MB protection
+//! level is a step function describable by a handful of *pivots* — bit
+//! offsets where the error-correction scheme changes. Pivots live in the
+//! frame header (precise storage) and cost a few bytes per frame instead
+//! of per-MB bookkeeping as large as the video itself.
+
+use crate::importance::ImportanceMap;
+use std::ops::Range;
+use vapp_codec::AnalysisRecord;
+
+/// Bits to encode one pivot in the frame header (32-bit offset + 8-bit
+/// level).
+pub const PIVOT_BITS: u64 = 40;
+/// Fixed per-frame pivot bookkeeping (count byte + initial level byte).
+pub const FRAME_PIVOT_HEADER_BITS: u64 = 16;
+
+/// A protection-level change point within a frame payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pivot {
+    /// Payload bit offset where the new level takes effect.
+    pub bit_offset: u64,
+    /// Protection level from this offset on (index into the scheme
+    /// ladder; higher = stronger).
+    pub level: u8,
+}
+
+/// The pivots of one frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FramePivots {
+    /// Coding-order frame index.
+    pub coding_index: usize,
+    /// Protection level at payload offset 0.
+    pub initial_level: u8,
+    /// Level changes in ascending offset order.
+    pub pivots: Vec<Pivot>,
+    /// Total payload bits of the frame (end of the last span).
+    pub payload_bits: u64,
+}
+
+impl FramePivots {
+    /// Expands the pivots into contiguous `(bit range, level)` spans
+    /// covering the whole payload.
+    pub fn level_spans(&self) -> Vec<(Range<u64>, u8)> {
+        let mut out = Vec::with_capacity(self.pivots.len() + 1);
+        let mut start = 0u64;
+        let mut level = self.initial_level;
+        for p in &self.pivots {
+            if p.bit_offset > start {
+                out.push((start..p.bit_offset, level));
+            }
+            start = p.bit_offset;
+            level = p.level;
+        }
+        if self.payload_bits > start {
+            out.push((start..self.payload_bits, level));
+        }
+        out
+    }
+}
+
+/// The pivot table of a whole video.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PivotTable {
+    /// Per-frame pivots, coding order.
+    pub frames: Vec<FramePivots>,
+    /// Number of protection levels in the ladder this table indexes.
+    pub levels: u8,
+}
+
+impl PivotTable {
+    /// Builds the pivot table: macroblock `level = number of thresholds
+    /// met`, where `thresholds[k]` is the minimum importance required for
+    /// protection level `k+1` (ascending). Level 0 needs no threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds` is not ascending or overflows `u8` levels.
+    pub fn build(rec: &AnalysisRecord, imp: &ImportanceMap, thresholds: &[f64]) -> Self {
+        assert!(
+            thresholds.windows(2).all(|w| w[0] <= w[1]),
+            "thresholds must be ascending"
+        );
+        assert!(thresholds.len() < 255, "too many levels");
+        let level_of = |importance: f64| -> u8 {
+            thresholds.iter().take_while(|&&t| importance >= t).count() as u8
+        };
+        let mut frames = Vec::with_capacity(rec.frames.len());
+        for f in &rec.frames {
+            let payload_bits = f.mbs.last().map_or(0, |m| m.bit_end);
+            let mut initial_level = 0u8;
+            let mut pivots = Vec::new();
+            let mut prev: Option<u8> = None;
+            for (mb, a) in f.mbs.iter().enumerate() {
+                let level = level_of(imp.get(f.coding_index, mb));
+                match prev {
+                    None => initial_level = level,
+                    Some(p) if p != level => pivots.push(Pivot {
+                        bit_offset: a.bit_start,
+                        level,
+                    }),
+                    _ => {}
+                }
+                prev = Some(level);
+            }
+            frames.push(FramePivots {
+                coding_index: f.coding_index,
+                initial_level,
+                pivots,
+                payload_bits,
+            });
+        }
+        PivotTable {
+            frames,
+            levels: thresholds.len() as u8 + 1,
+        }
+    }
+
+    /// Bookkeeping bits this table adds to the (precisely stored) frame
+    /// headers — the paper's "few bytes per frame".
+    pub fn bookkeeping_bits(&self) -> u64 {
+        self.frames
+            .iter()
+            .map(|f| FRAME_PIVOT_HEADER_BITS + f.pivots.len() as u64 * PIVOT_BITS)
+            .sum()
+    }
+
+    /// Total pivot count across frames.
+    pub fn pivot_count(&self) -> usize {
+        self.frames.iter().map(|f| f.pivots.len()).sum()
+    }
+
+    /// Bits assigned to each protection level across the whole video.
+    pub fn level_bits(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.levels as usize];
+        for f in &self.frames {
+            for (range, level) in f.level_spans() {
+                let idx = (level as usize).min(self.levels as usize - 1);
+                out[idx] += range.end - range.start;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DependencyGraph;
+    use vapp_codec::{Encoder, EncoderConfig};
+    use vapp_workloads::{ClipSpec, SceneKind};
+
+    fn setup() -> (AnalysisRecord, ImportanceMap) {
+        let video = ClipSpec::new(64, 48, 10, SceneKind::MovingBlocks).seed(8).generate();
+        let rec = Encoder::new(EncoderConfig {
+            keyint: 5,
+            bframes: 1,
+            ..Default::default()
+        })
+        .encode(&video)
+        .analysis;
+        let imp = ImportanceMap::compute(&DependencyGraph::from_analysis(&rec));
+        (rec, imp)
+    }
+
+    #[test]
+    fn spans_cover_payload_and_respect_pivots() {
+        let (rec, imp) = setup();
+        let max = imp.max();
+        let table = PivotTable::build(&rec, &imp, &[4.0, 16.0, max / 4.0]);
+        assert_eq!(table.levels, 4);
+        for (f, fp) in rec.frames.iter().zip(&table.frames) {
+            let spans = fp.level_spans();
+            let covered: u64 = spans.iter().map(|(r, _)| r.end - r.start).sum();
+            assert_eq!(covered, f.mbs.last().unwrap().bit_end);
+            // Spans contiguous and levels decreasing in offset order
+            // (importance decreases within a slice; with one slice per
+            // frame this is global).
+            for w in spans.windows(2) {
+                assert_eq!(w[0].0.end, w[1].0.start);
+            }
+        }
+    }
+
+    #[test]
+    fn single_slice_levels_never_increase_along_the_frame() {
+        let (rec, imp) = setup();
+        let table = PivotTable::build(&rec, &imp, &[2.0, 8.0, 64.0]);
+        for fp in &table.frames {
+            let spans = fp.level_spans();
+            for w in spans.windows(2) {
+                assert!(
+                    w[0].1 >= w[1].1,
+                    "frame {}: level rose {} -> {}",
+                    fp.coding_index,
+                    w[0].1,
+                    w[1].1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn few_pivots_per_frame() {
+        // The paper's point: pivots cost a few bytes per frame.
+        let (rec, imp) = setup();
+        let table = PivotTable::build(&rec, &imp, &[2.0, 8.0, 64.0, 512.0]);
+        let per_frame = table.pivot_count() as f64 / table.frames.len() as f64;
+        assert!(per_frame <= 4.0, "too many pivots: {per_frame}/frame");
+        // "A few bytes per frame": under 32 bytes of bookkeeping per
+        // frame. (Relative to payload the ratio shrinks with resolution;
+        // this test video is tiny.)
+        let per_frame_bits = table.bookkeeping_bits() as f64 / table.frames.len() as f64;
+        assert!(per_frame_bits <= 256.0, "bookkeeping {per_frame_bits} bits/frame");
+    }
+
+    #[test]
+    fn level_bits_sum_to_payload() {
+        let (rec, imp) = setup();
+        let table = PivotTable::build(&rec, &imp, &[8.0]);
+        let total: u64 = table.level_bits().iter().sum();
+        let payload: u64 = table.frames.iter().map(|f| f.payload_bits).sum();
+        assert_eq!(total, payload);
+    }
+
+    #[test]
+    fn no_thresholds_means_single_level() {
+        let (rec, imp) = setup();
+        let table = PivotTable::build(&rec, &imp, &[]);
+        assert_eq!(table.levels, 1);
+        assert_eq!(table.pivot_count(), 0);
+        assert_eq!(table.level_bits().len(), 1);
+    }
+}

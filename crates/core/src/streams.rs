@@ -1,0 +1,239 @@
+//! Splitting a coded video into per-reliability streams (paper §4.4,
+//! §5.3) and encrypting them.
+//!
+//! Each protection level becomes one stream: the pivot table says which
+//! payload bit ranges belong to which level, and the split simply
+//! concatenates each level's bits across all frames. Frame headers and
+//! pivots stay outside (precise storage). Streams can be encrypted
+//! independently with an approximation-compatible mode; per-stream IVs
+//! derive from a master IV and the stream id (§5.3).
+
+use crate::pivots::PivotTable;
+use vapp_codec::EncodedVideo;
+use vapp_crypto::{derive_stream_iv, Block, CipherMode, Key};
+
+/// Reads payload bit `i` (MSB-first, matching the codec's bit writer).
+#[inline]
+fn get_bit(bytes: &[u8], i: u64) -> bool {
+    let byte = (i / 8) as usize;
+    byte < bytes.len() && (bytes[byte] >> (7 - (i % 8))) & 1 == 1
+}
+
+/// Sets payload bit `i` (MSB-first).
+#[inline]
+fn set_bit(bytes: &mut [u8], i: u64, v: bool) {
+    let byte = (i / 8) as usize;
+    if byte >= bytes.len() {
+        return;
+    }
+    let mask = 1u8 << (7 - (i % 8));
+    if v {
+        bytes[byte] |= mask;
+    } else {
+        bytes[byte] &= !mask;
+    }
+}
+
+/// The per-reliability streams of one video.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtectedStreams {
+    /// One byte buffer per protection level (level = index).
+    pub level_data: Vec<Vec<u8>>,
+    /// Exact bit length of each stream (buffers are zero-padded).
+    pub level_bits: Vec<u64>,
+}
+
+impl ProtectedStreams {
+    /// Total payload bits across streams.
+    pub fn total_bits(&self) -> u64 {
+        self.level_bits.iter().sum()
+    }
+
+    /// Encrypts every stream in place with per-stream derived IVs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode is not approximation compatible — using ECB or
+    /// CBC here would defeat the whole scheme (paper §5.2).
+    pub fn encrypt(&mut self, mode: CipherMode, key: &Key, master_iv: &Block) {
+        assert!(
+            mode.approximation_compatible(),
+            "mode {mode:?} is not usable over approximate storage"
+        );
+        for (id, data) in self.level_data.iter_mut().enumerate() {
+            let iv = derive_stream_iv(key, master_iv, id as u64);
+            *data = mode.encrypt(key, &iv, data);
+        }
+    }
+
+    /// Decrypts every stream in place (inverse of
+    /// [`ProtectedStreams::encrypt`]).
+    pub fn decrypt(&mut self, mode: CipherMode, key: &Key, master_iv: &Block) {
+        assert!(
+            mode.approximation_compatible(),
+            "mode {mode:?} is not usable over approximate storage"
+        );
+        for (id, data) in self.level_data.iter_mut().enumerate() {
+            let iv = derive_stream_iv(key, master_iv, id as u64);
+            *data = mode.decrypt(key, &iv, data);
+        }
+    }
+}
+
+/// Splits the payloads of `stream` into per-level bit streams according
+/// to the pivot table.
+///
+/// # Panics
+///
+/// Panics if the pivot table does not match the stream's frame count.
+pub fn split_streams(stream: &EncodedVideo, table: &PivotTable) -> ProtectedStreams {
+    assert_eq!(
+        stream.frames.len(),
+        table.frames.len(),
+        "pivot table / stream mismatch"
+    );
+    let levels = table.levels as usize;
+    let mut bits: Vec<Vec<bool>> = vec![Vec::new(); levels];
+    for (frame, fp) in stream.frames.iter().zip(&table.frames) {
+        for (range, level) in fp.level_spans() {
+            let sink = &mut bits[(level as usize).min(levels - 1)];
+            for i in range {
+                sink.push(get_bit(&frame.payload, i));
+            }
+        }
+    }
+    let mut level_data = Vec::with_capacity(levels);
+    let mut level_bits = Vec::with_capacity(levels);
+    for stream_bits in bits {
+        let mut bytes = vec![0u8; stream_bits.len().div_ceil(8)];
+        for (i, &b) in stream_bits.iter().enumerate() {
+            set_bit(&mut bytes, i as u64, b);
+        }
+        level_bits.push(stream_bits.len() as u64);
+        level_data.push(bytes);
+    }
+    ProtectedStreams {
+        level_data,
+        level_bits,
+    }
+}
+
+/// Rebuilds a coded video from per-level streams: the inverse of
+/// [`split_streams`]. `template` supplies headers and payload sizes (all
+/// precise storage).
+///
+/// # Panics
+///
+/// Panics if the streams or the pivot table disagree with the template's
+/// geometry.
+pub fn merge_streams(
+    template: &EncodedVideo,
+    table: &PivotTable,
+    streams: &ProtectedStreams,
+) -> EncodedVideo {
+    assert_eq!(
+        template.frames.len(),
+        table.frames.len(),
+        "pivot table / stream mismatch"
+    );
+    let levels = table.levels as usize;
+    assert_eq!(streams.level_data.len(), levels, "level count mismatch");
+    let mut cursors = vec![0u64; levels];
+    let mut out = template.clone();
+    for (frame, fp) in out.frames.iter_mut().zip(&table.frames) {
+        for (range, level) in fp.level_spans() {
+            let li = (level as usize).min(levels - 1);
+            for i in range {
+                let bit = get_bit(&streams.level_data[li], cursors[li]);
+                set_bit(&mut frame.payload, i, bit);
+                cursors[li] += 1;
+            }
+        }
+    }
+    for (li, &used) in cursors.iter().enumerate() {
+        assert_eq!(
+            used, streams.level_bits[li],
+            "stream {li} length mismatch on merge"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DependencyGraph;
+    use crate::importance::ImportanceMap;
+    use vapp_codec::{Encoder, EncoderConfig};
+    use vapp_workloads::{ClipSpec, SceneKind};
+
+    fn setup() -> (EncodedVideo, PivotTable) {
+        let video = ClipSpec::new(64, 48, 8, SceneKind::MovingBlocks).seed(9).generate();
+        let result = Encoder::new(EncoderConfig {
+            keyint: 4,
+            bframes: 1,
+            ..Default::default()
+        })
+        .encode(&video);
+        let imp = ImportanceMap::compute(&DependencyGraph::from_analysis(&result.analysis));
+        let table = PivotTable::build(&result.analysis, &imp, &[4.0, 32.0, 256.0]);
+        (result.stream, table)
+    }
+
+    #[test]
+    fn split_merge_is_identity() {
+        let (stream, table) = setup();
+        let streams = split_streams(&stream, &table);
+        assert_eq!(streams.total_bits(), stream.payload_bits());
+        let merged = merge_streams(&stream, &table, &streams);
+        assert_eq!(merged, stream);
+    }
+
+    #[test]
+    fn encrypted_split_merge_roundtrip() {
+        let (stream, table) = setup();
+        let key = [0x33u8; 16];
+        let iv = [0x44u8; 16];
+        for mode in [CipherMode::Ofb, CipherMode::Ctr] {
+            let mut streams = split_streams(&stream, &table);
+            streams.encrypt(mode, &key, &iv);
+            // Ciphertext differs from plaintext.
+            let plain = split_streams(&stream, &table);
+            assert_ne!(streams.level_data, plain.level_data);
+            streams.decrypt(mode, &key, &iv);
+            let merged = merge_streams(&stream, &table, &streams);
+            assert_eq!(merged, stream, "{mode:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not usable over approximate storage")]
+    fn cbc_rejected_for_streams() {
+        let (stream, table) = setup();
+        let mut streams = split_streams(&stream, &table);
+        streams.encrypt(CipherMode::Cbc, &[0u8; 16], &[0u8; 16]);
+    }
+
+    #[test]
+    fn corrupting_one_stream_touches_only_its_spans() {
+        let (stream, table) = setup();
+        let mut streams = split_streams(&stream, &table);
+        // Flip every bit of the weakest stream (level 0).
+        for b in streams.level_data[0].iter_mut() {
+            *b = !*b;
+        }
+        let merged = merge_streams(&stream, &table, &streams);
+        for ((orig, dirty), fp) in stream.frames.iter().zip(&merged.frames).zip(&table.frames) {
+            for (range, level) in fp.level_spans() {
+                for i in range {
+                    let same = get_bit(&orig.payload, i) == get_bit(&dirty.payload, i);
+                    if level == 0 {
+                        assert!(!same, "level-0 bit {i} unchanged");
+                    } else {
+                        assert!(same, "level-{level} bit {i} changed");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! AES-128 (FIPS-197) implemented from first principles.
+//!
+//! The block cipher is the substitution–permutation network of the
+//! paper's Fig. 7 (`subperm`/`invsubperm`). The S-box is *derived* (GF(2^8)
+//! inversion + affine map) rather than pasted, and the implementation is
+//! validated against the FIPS-197 appendix vectors in the tests.
+
+use std::sync::OnceLock;
+
+/// AES block size in bytes.
+pub const BLOCK_BYTES: usize = 16;
+
+/// A 128-bit AES key.
+pub type Key = [u8; 16];
+
+/// A 16-byte cipher block.
+pub type Block = [u8; BLOCK_BYTES];
+
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static T: OnceLock<Tables> = OnceLock::new();
+    T.get_or_init(|| {
+        // Multiplicative inverse in GF(2^8) via exponentiation chains is
+        // overkill; build log tables with generator 3.
+        let mut log = [0u8; 256];
+        let mut alog = [0u8; 256];
+        let mut x: u8 = 1;
+        for i in 0..255 {
+            alog[i] = x;
+            log[x as usize] = i as u8;
+            // x *= 3 in GF(2^8) with the AES polynomial 0x11B.
+            x = x ^ xtime(x);
+        }
+        let inv = |a: u8| -> u8 {
+            if a == 0 {
+                0
+            } else {
+                alog[(255 - log[a as usize] as usize) % 255]
+            }
+        };
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for a in 0..256u16 {
+            let b = inv(a as u8);
+            // Affine transform: s = b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3)
+            // ^ rotl(b,4) ^ 0x63.
+            let s = b
+                ^ b.rotate_left(1)
+                ^ b.rotate_left(2)
+                ^ b.rotate_left(3)
+                ^ b.rotate_left(4)
+                ^ 0x63;
+            sbox[a as usize] = s;
+            inv_sbox[s as usize] = a as u8;
+        }
+        Tables { sbox, inv_sbox }
+    })
+}
+
+/// xtime: multiply by x (i.e. 2) in GF(2^8) mod x^8+x^4+x^3+x+1.
+#[inline]
+fn xtime(a: u8) -> u8 {
+    (a << 1) ^ if a & 0x80 != 0 { 0x1B } else { 0 }
+}
+
+/// GF(2^8) multiplication.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key schedule (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes128").finish_non_exhaustive()
+    }
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: &Key) -> Self {
+        let t = tables();
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon: u8 = 1;
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = t.sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            }
+            for k in 0..4 {
+                w[i][k] = w[i - 4][k] ^ temp[k];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one block (the `subperm` box of paper Fig. 7).
+    pub fn encrypt_block(&self, block: &Block) -> Block {
+        let t = tables();
+        let mut s = *block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut s, &t.sbox);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[round]);
+        }
+        sub_bytes(&mut s, &t.sbox);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[10]);
+        s
+    }
+
+    /// Decrypts one block (`invsubperm`).
+    pub fn decrypt_block(&self, block: &Block) -> Block {
+        let t = tables();
+        let mut s = *block;
+        add_round_key(&mut s, &self.round_keys[10]);
+        inv_shift_rows(&mut s);
+        sub_bytes(&mut s, &t.inv_sbox);
+        for round in (1..10).rev() {
+            add_round_key(&mut s, &self.round_keys[round]);
+            inv_mix_columns(&mut s);
+            inv_shift_rows(&mut s);
+            sub_bytes(&mut s, &t.inv_sbox);
+        }
+        add_round_key(&mut s, &self.round_keys[0]);
+        s
+    }
+}
+
+// State layout: byte i is row i%4, column i/4 (FIPS column-major).
+
+fn add_round_key(s: &mut Block, rk: &[u8; 16]) {
+    for (a, b) in s.iter_mut().zip(rk) {
+        *a ^= b;
+    }
+}
+
+fn sub_bytes(s: &mut Block, box_: &[u8; 256]) {
+    for b in s.iter_mut() {
+        *b = box_[*b as usize];
+    }
+}
+
+fn shift_rows(s: &mut Block) {
+    let orig = *s;
+    for row in 1..4 {
+        for col in 0..4 {
+            s[4 * col + row] = orig[4 * ((col + row) % 4) + row];
+        }
+    }
+}
+
+fn inv_shift_rows(s: &mut Block) {
+    let orig = *s;
+    for row in 1..4 {
+        for col in 0..4 {
+            s[4 * ((col + row) % 4) + row] = orig[4 * col + row];
+        }
+    }
+}
+
+fn mix_columns(s: &mut Block) {
+    for col in 0..4 {
+        let c = [s[4 * col], s[4 * col + 1], s[4 * col + 2], s[4 * col + 3]];
+        s[4 * col] = gmul(c[0], 2) ^ gmul(c[1], 3) ^ c[2] ^ c[3];
+        s[4 * col + 1] = c[0] ^ gmul(c[1], 2) ^ gmul(c[2], 3) ^ c[3];
+        s[4 * col + 2] = c[0] ^ c[1] ^ gmul(c[2], 2) ^ gmul(c[3], 3);
+        s[4 * col + 3] = gmul(c[0], 3) ^ c[1] ^ c[2] ^ gmul(c[3], 2);
+    }
+}
+
+fn inv_mix_columns(s: &mut Block) {
+    for col in 0..4 {
+        let c = [s[4 * col], s[4 * col + 1], s[4 * col + 2], s[4 * col + 3]];
+        s[4 * col] = gmul(c[0], 14) ^ gmul(c[1], 11) ^ gmul(c[2], 13) ^ gmul(c[3], 9);
+        s[4 * col + 1] = gmul(c[0], 9) ^ gmul(c[1], 14) ^ gmul(c[2], 11) ^ gmul(c[3], 13);
+        s[4 * col + 2] = gmul(c[0], 13) ^ gmul(c[1], 9) ^ gmul(c[2], 14) ^ gmul(c[3], 11);
+        s[4 * col + 3] = gmul(c[0], 11) ^ gmul(c[1], 13) ^ gmul(c[2], 9) ^ gmul(c[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let t = tables();
+        assert_eq!(t.sbox[0x00], 0x63);
+        assert_eq!(t.sbox[0x01], 0x7c);
+        assert_eq!(t.sbox[0x53], 0xed);
+        assert_eq!(t.sbox[0xff], 0x16);
+        for a in 0..256 {
+            assert_eq!(t.inv_sbox[t.sbox[a] as usize] as usize, a);
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        // FIPS-197 C.1: key 000102…0f, plaintext 00112233…ff.
+        let key: Key = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let pt: Block = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(ct.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key: Key = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let pt: Block = hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let ct = Aes128::new(&key).encrypt_block(&pt);
+        assert_eq!(ct.to_vec(), hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_many_blocks() {
+        let key: Key = [7u8; 16];
+        let aes = Aes128::new(&key);
+        for i in 0..64u8 {
+            let block: Block = core::array::from_fn(|j| i.wrapping_mul(17) ^ j as u8);
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn gmul_known_products() {
+        assert_eq!(gmul(0x57, 0x13), 0xfe); // FIPS-197 §4.2 example
+        assert_eq!(gmul(0x57, 0x02), 0xae);
+        assert_eq!(gmul(0x01, 0xab), 0xab);
+    }
+
+    #[test]
+    fn avalanche_effect() {
+        // One plaintext bit flip changes ~half the ciphertext bits.
+        let key: Key = [3u8; 16];
+        let aes = Aes128::new(&key);
+        let a: Block = [0u8; 16];
+        let mut b = a;
+        b[0] ^= 1;
+        let ca = aes.encrypt_block(&a);
+        let cb = aes.encrypt_block(&b);
+        let diff: u32 = ca.iter().zip(&cb).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert!((40..=88).contains(&diff), "diffusion too weak: {diff} bits");
+    }
+}

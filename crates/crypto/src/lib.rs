@@ -1,0 +1,30 @@
+//! Encryption for approximate video storage (paper §5).
+//!
+//! * [`aes`] — AES-128 from first principles (FIPS-197-validated),
+//! * [`modes`] — ECB / CBC / OFB / CTR modes with per-stream IV
+//!   derivation (§5.3),
+//! * [`analysis`] — empirical verification of the three encryption
+//!   requirements for approximate storage (§5.1): OFB and CTR contain a
+//!   ciphertext bit flip to exactly that plaintext bit; ECB fails
+//!   readability, CBC fails containment.
+//!
+//! # Example
+//!
+//! ```
+//! use vapp_crypto::{CipherMode, flip_damage};
+//!
+//! let key = [9u8; 16];
+//! let iv = [4u8; 16];
+//! let data = vec![7u8; 64];
+//! // CTR: a flipped ciphertext bit damages exactly one plaintext bit.
+//! let d = flip_damage(CipherMode::Ctr, &key, &iv, &data, 100);
+//! assert!(d.exact);
+//! ```
+
+pub mod aes;
+pub mod analysis;
+pub mod modes;
+
+pub use aes::{Aes128, Block, Key, BLOCK_BYTES};
+pub use analysis::{evaluate_mode, flip_damage, FlipDamage, ModeReport};
+pub use modes::{derive_stream_iv, CipherMode};

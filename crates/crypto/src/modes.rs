@@ -1,0 +1,255 @@
+//! Block-cipher modes of operation (paper §5.2, Fig. 7).
+//!
+//! Four modes with very different error-propagation behaviour:
+//!
+//! | mode | unreadable? | bit-flip damage on decrypt |
+//! |------|-------------|----------------------------|
+//! | ECB  | no (dictionary attacks) | whole containing block |
+//! | CBC  | yes | whole containing block + 1 bit in the next |
+//! | OFB  | yes | exactly the flipped bit |
+//! | CTR  | yes | exactly the flipped bit |
+//!
+//! OFB and CTR satisfy all three requirements of paper §5.1 and are the
+//! approximate-storage-compatible choices.
+
+use crate::aes::{Aes128, Block, Key, BLOCK_BYTES};
+
+/// A block-cipher mode of operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CipherMode {
+    /// Electronic codebook: independent blocks. Fails requirement #1.
+    Ecb,
+    /// Cipher block chaining: fails requirements #2/#3 (flip damage
+    /// propagates).
+    Cbc,
+    /// Output feedback: a synchronous stream cipher; compatible.
+    Ofb,
+    /// Counter mode: a seekable stream cipher; compatible.
+    Ctr,
+}
+
+impl CipherMode {
+    /// All modes, in the paper's presentation order.
+    pub const ALL: [CipherMode; 4] = [
+        CipherMode::Ecb,
+        CipherMode::Cbc,
+        CipherMode::Ofb,
+        CipherMode::Ctr,
+    ];
+
+    /// Whether the mode meets the approximate-storage requirements of
+    /// paper §5.1 (readability protection *and* flip containment).
+    pub fn approximation_compatible(self) -> bool {
+        matches!(self, CipherMode::Ofb | CipherMode::Ctr)
+    }
+
+    /// Encrypts `data` under `key`/`iv`.
+    ///
+    /// ECB and CBC zero-pad to a block multiple (the returned buffer may
+    /// be longer than the input; the caller tracks the plaintext length,
+    /// as the frame headers do in the video store). OFB and CTR are
+    /// stream modes and preserve length exactly.
+    pub fn encrypt(self, key: &Key, iv: &Block, data: &[u8]) -> Vec<u8> {
+        let aes = Aes128::new(key);
+        match self {
+            CipherMode::Ecb => {
+                let mut out = padded(data);
+                for chunk in out.chunks_exact_mut(BLOCK_BYTES) {
+                    let block: Block = (&*chunk).try_into().expect("exact chunk");
+                    chunk.copy_from_slice(&aes.encrypt_block(&block));
+                }
+                out
+            }
+            CipherMode::Cbc => {
+                let mut out = padded(data);
+                let mut prev = *iv;
+                for chunk in out.chunks_exact_mut(BLOCK_BYTES) {
+                    for (c, p) in chunk.iter_mut().zip(&prev) {
+                        *c ^= p;
+                    }
+                    let block: Block = (&*chunk).try_into().expect("exact chunk");
+                    let b = aes.encrypt_block(&block);
+                    chunk.copy_from_slice(&b);
+                    prev = b;
+                }
+                out
+            }
+            CipherMode::Ofb => xor_stream(data, ofb_stream(&aes, iv, data.len())),
+            CipherMode::Ctr => xor_stream(data, ctr_stream(&aes, iv, data.len())),
+        }
+    }
+
+    /// Decrypts `data` under `key`/`iv`. For ECB/CBC the input must be a
+    /// block multiple (as produced by [`CipherMode::encrypt`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an ECB/CBC input is not block-aligned.
+    pub fn decrypt(self, key: &Key, iv: &Block, data: &[u8]) -> Vec<u8> {
+        let aes = Aes128::new(key);
+        match self {
+            CipherMode::Ecb => {
+                assert_eq!(data.len() % BLOCK_BYTES, 0, "ECB needs whole blocks");
+                let mut out = data.to_vec();
+                for chunk in out.chunks_exact_mut(BLOCK_BYTES) {
+                    let block: Block = (&*chunk).try_into().expect("exact chunk");
+                    chunk.copy_from_slice(&aes.decrypt_block(&block));
+                }
+                out
+            }
+            CipherMode::Cbc => {
+                assert_eq!(data.len() % BLOCK_BYTES, 0, "CBC needs whole blocks");
+                let mut out = data.to_vec();
+                let mut prev = *iv;
+                for chunk in out.chunks_exact_mut(BLOCK_BYTES) {
+                    let ct: Block = (&*chunk).try_into().expect("exact chunk");
+                    let mut b = aes.decrypt_block(&ct);
+                    for (x, p) in b.iter_mut().zip(&prev) {
+                        *x ^= p;
+                    }
+                    chunk.copy_from_slice(&b);
+                    prev = ct;
+                }
+                out
+            }
+            // OFB/CTR decryption is encryption.
+            CipherMode::Ofb => xor_stream(data, ofb_stream(&aes, iv, data.len())),
+            CipherMode::Ctr => xor_stream(data, ctr_stream(&aes, iv, data.len())),
+        }
+    }
+}
+
+fn padded(data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    out.resize(data.len().div_ceil(BLOCK_BYTES).max(1) * BLOCK_BYTES, 0);
+    out
+}
+
+fn xor_stream(data: &[u8], stream: Vec<u8>) -> Vec<u8> {
+    data.iter().zip(stream).map(|(&d, s)| d ^ s).collect()
+}
+
+/// OFB keystream: repeatedly encrypt the previous keystream block
+/// ("previous subperm'd value", paper Fig. 7c).
+fn ofb_stream(aes: &Aes128, iv: &Block, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut state = *iv;
+    while out.len() < len {
+        state = aes.encrypt_block(&state);
+        out.extend_from_slice(&state);
+    }
+    out.truncate(len);
+    out
+}
+
+/// CTR keystream: encrypt iv+counter per block (paper Fig. 7d).
+fn ctr_stream(aes: &Aes128, iv: &Block, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut counter = 0u64;
+    while out.len() < len {
+        let mut block = *iv;
+        // Mix the counter into the low 8 bytes, big-endian.
+        for (i, b) in counter.to_be_bytes().iter().enumerate() {
+            block[8 + i] ^= b;
+        }
+        out.extend_from_slice(&aes.encrypt_block(&block));
+        counter += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Derives a per-stream IV from a master IV and a stream identifier
+/// (paper §5.3: "derived from a single value for all streams pre-appended
+/// to each stream's identifier"). Implemented as AES_k(master ⊕ id),
+/// so distinct streams never share a keystream.
+pub fn derive_stream_iv(key: &Key, master_iv: &Block, stream_id: u64) -> Block {
+    let mut block = *master_iv;
+    for (i, b) in stream_id.to_be_bytes().iter().enumerate() {
+        block[i] ^= b;
+    }
+    Aes128::new(key).encrypt_block(&block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: Key = [0x42; 16];
+    const IV: Block = [0x17; 16];
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn all_modes_roundtrip() {
+        let data = sample(100); // deliberately not block aligned
+        for mode in CipherMode::ALL {
+            let ct = mode.encrypt(&KEY, &IV, &data);
+            let pt = mode.decrypt(&KEY, &IV, &ct);
+            assert_eq!(&pt[..data.len()], &data[..], "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn stream_modes_preserve_length() {
+        let data = sample(37);
+        for mode in [CipherMode::Ofb, CipherMode::Ctr] {
+            assert_eq!(mode.encrypt(&KEY, &IV, &data).len(), 37, "{mode:?}");
+        }
+        // Block modes pad.
+        assert_eq!(CipherMode::Ecb.encrypt(&KEY, &IV, &data).len(), 48);
+    }
+
+    #[test]
+    fn ecb_leaks_equal_blocks_cbc_does_not() {
+        // Requirement #1 (paper §5.2): a repeated plaintext block maps to
+        // a repeated ciphertext block under ECB — the dictionary attack.
+        let data = [5u8; 64]; // four identical blocks
+        let ecb = CipherMode::Ecb.encrypt(&KEY, &IV, &data);
+        assert_eq!(&ecb[0..16], &ecb[16..32]);
+        let cbc = CipherMode::Cbc.encrypt(&KEY, &IV, &data);
+        assert_ne!(&cbc[0..16], &cbc[16..32]);
+        let ctr = CipherMode::Ctr.encrypt(&KEY, &IV, &data);
+        assert_ne!(&ctr[0..16], &ctr[16..32]);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let data = sample(64);
+        for mode in CipherMode::ALL {
+            let ct = mode.encrypt(&KEY, &IV, &data);
+            assert_ne!(&ct[..data.len()], &data[..], "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn compatibility_flags() {
+        assert!(!CipherMode::Ecb.approximation_compatible());
+        assert!(!CipherMode::Cbc.approximation_compatible());
+        assert!(CipherMode::Ofb.approximation_compatible());
+        assert!(CipherMode::Ctr.approximation_compatible());
+    }
+
+    #[test]
+    fn derived_ivs_are_distinct_and_deterministic() {
+        let a = derive_stream_iv(&KEY, &IV, 0);
+        let b = derive_stream_iv(&KEY, &IV, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_stream_iv(&KEY, &IV, 0));
+    }
+
+    #[test]
+    fn ctr_blocks_are_independent() {
+        // Decrypting only the second block's worth works in CTR (seekable
+        // property is exercised indirectly: flipping block 1 of ciphertext
+        // leaves block 2 intact after decrypt).
+        let data = sample(48);
+        let mut ct = CipherMode::Ctr.encrypt(&KEY, &IV, &data);
+        ct[0] ^= 0xFF;
+        let pt = CipherMode::Ctr.decrypt(&KEY, &IV, &ct);
+        assert_eq!(&pt[16..], &data[16..]);
+        assert_ne!(pt[0], data[0]);
+    }
+}

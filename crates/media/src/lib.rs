@@ -1,0 +1,45 @@
+//! Raw video primitives shared by every crate in the VideoApp reproduction.
+//!
+//! The paper operates on raw YUV clips; this reproduction works on 8-bit
+//! luma-only video (see `DESIGN.md` §2 for the substitution note). The crate
+//! provides:
+//!
+//! * [`Plane`] — a bounds-safe 8-bit pixel plane with clamped sampling,
+//!   which prediction code relies on when motion vectors point outside the
+//!   frame,
+//! * [`Frame`] and [`Video`] — sequences of planes,
+//! * [`MbGrid`] and [`Rect`] — macroblock geometry: H.264 divides every
+//!   frame into 16x16 macroblocks, and VideoApp's dependency analysis needs
+//!   to know which macroblocks a pixel rectangle overlaps and by how many
+//!   pixels.
+//!
+//! # Example
+//!
+//! ```
+//! use vapp_media::{Frame, MbGrid, Rect, MB_SIZE};
+//!
+//! let frame = Frame::filled(64, 48, 128);
+//! let grid = MbGrid::for_frame(frame.width(), frame.height());
+//! assert_eq!(grid.mb_count(), 4 * 3);
+//!
+//! // A 16x16 rectangle straddling four macroblocks:
+//! let overlaps = grid.overlaps(Rect::new(8, 8, 16, 16));
+//! assert_eq!(overlaps.len(), 4);
+//! assert!(overlaps.iter().all(|o| o.pixels == 64));
+//! ```
+
+mod frame;
+mod geometry;
+pub mod io;
+mod plane;
+
+pub use frame::{Frame, Video};
+pub use io::ParseRawError;
+pub use geometry::{MbGrid, MbOverlap, Rect};
+pub use plane::Plane;
+
+/// Width and height, in pixels, of an H.264 macroblock.
+pub const MB_SIZE: usize = 16;
+
+/// Number of pixels in one macroblock (16x16).
+pub const MB_PIXELS: usize = MB_SIZE * MB_SIZE;

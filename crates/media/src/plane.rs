@@ -1,0 +1,294 @@
+//! A bounds-safe 8-bit pixel plane.
+
+use std::fmt;
+
+/// An 8-bit grayscale pixel plane with row-major storage.
+///
+/// All sampling access is clamped to the plane borders ([`Plane::sample`]),
+/// which mirrors the edge-extension rule H.264 uses for unrestricted motion
+/// vectors and lets prediction code read "outside" the frame safely.
+///
+/// # Example
+///
+/// ```
+/// use vapp_media::Plane;
+///
+/// let mut p = Plane::new(4, 4);
+/// p.set(1, 2, 200);
+/// assert_eq!(p.get(1, 2), 200);
+/// // Clamped sampling never goes out of bounds:
+/// assert_eq!(p.sample(-5, 2), p.get(0, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Plane {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Plane {
+    /// Creates a plane of the given size filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::filled(width, height, 0)
+    }
+
+    /// Creates a plane filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    pub fn filled(width: usize, height: usize, value: u8) -> Self {
+        assert!(width > 0 && height > 0, "plane dimensions must be nonzero");
+        Plane {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
+    }
+
+    /// Creates a plane from row-major pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height` or a dimension is zero.
+    pub fn from_data(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "plane dimensions must be nonzero");
+        assert_eq!(data.len(), width * height, "pixel buffer size mismatch");
+        Plane {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Plane width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The raw row-major pixel buffer.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the raw row-major pixel buffer.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Returns the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Samples the pixel at signed coordinates, clamping to the borders.
+    ///
+    /// This is the H.264 edge-extension rule: coordinates outside the plane
+    /// read the nearest border pixel.
+    #[inline]
+    pub fn sample(&self, x: isize, y: isize) -> u8 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Returns one row of pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[u8] {
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Copies a `w x h` block whose top-left corner is `(x, y)` into `out`
+    /// (row-major, clamped at borders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != w * h`.
+    pub fn copy_block(&self, x: isize, y: isize, w: usize, h: usize, out: &mut [u8]) {
+        assert_eq!(out.len(), w * h, "output buffer size mismatch");
+        for by in 0..h {
+            for bx in 0..w {
+                out[by * w + bx] = self.sample(x + bx as isize, y + by as isize);
+            }
+        }
+    }
+
+    /// Writes a `w x h` block at `(x, y)`; parts outside the plane are
+    /// silently dropped.
+    pub fn store_block(&mut self, x: usize, y: usize, w: usize, h: usize, block: &[u8]) {
+        assert_eq!(block.len(), w * h, "input buffer size mismatch");
+        for by in 0..h {
+            let py = y + by;
+            if py >= self.height {
+                break;
+            }
+            for bx in 0..w {
+                let px = x + bx;
+                if px >= self.width {
+                    break;
+                }
+                self.data[py * self.width + px] = block[by * w + bx];
+            }
+        }
+    }
+
+    /// Sum of absolute differences between a block of this plane at `(x, y)`
+    /// and a reference block sampled (with clamping) from `other` at
+    /// `(rx, ry)`. The cost function used by motion estimation.
+    pub fn sad(
+        &self,
+        x: usize,
+        y: usize,
+        w: usize,
+        h: usize,
+        other: &Plane,
+        rx: isize,
+        ry: isize,
+    ) -> u64 {
+        let mut total = 0u64;
+        for by in 0..h {
+            for bx in 0..w {
+                let a = self.sample((x + bx) as isize, (y + by) as isize) as i32;
+                let b = other.sample(rx + bx as isize, ry + by as isize) as i32;
+                total += (a - b).unsigned_abs() as u64;
+            }
+        }
+        total
+    }
+
+    /// Sum of squared errors against another plane of the same size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planes differ in size.
+    pub fn sse(&self, other: &Plane) -> u64 {
+        assert_eq!(self.width, other.width, "plane width mismatch");
+        assert_eq!(self.height, other.height, "plane height mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = a as i64 - b as i64;
+                (d * d) as u64
+            })
+            .sum()
+    }
+}
+
+impl fmt::Debug for Plane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Plane")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_get_set() {
+        let mut p = Plane::filled(3, 2, 7);
+        assert_eq!(p.get(2, 1), 7);
+        p.set(0, 0, 9);
+        assert_eq!(p.get(0, 0), 9);
+        assert_eq!(p.width(), 3);
+        assert_eq!(p.height(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        let _ = Plane::new(0, 4);
+    }
+
+    #[test]
+    fn sample_clamps_to_borders() {
+        let mut p = Plane::new(4, 3);
+        p.set(0, 0, 11);
+        p.set(3, 2, 22);
+        assert_eq!(p.sample(-10, -10), 11);
+        assert_eq!(p.sample(100, 100), 22);
+        assert_eq!(p.sample(-1, 2), p.get(0, 2));
+    }
+
+    #[test]
+    fn copy_block_roundtrip() {
+        let mut p = Plane::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                p.set(x, y, (y * 8 + x) as u8);
+            }
+        }
+        let mut block = vec![0u8; 4 * 4];
+        p.copy_block(2, 3, 4, 4, &mut block);
+        assert_eq!(block[0], p.get(2, 3));
+        assert_eq!(block[15], p.get(5, 6));
+
+        let mut q = Plane::new(8, 8);
+        q.store_block(2, 3, 4, 4, &block);
+        for by in 0..4 {
+            for bx in 0..4 {
+                assert_eq!(q.get(2 + bx, 3 + by), p.get(2 + bx, 3 + by));
+            }
+        }
+    }
+
+    #[test]
+    fn store_block_clips_at_borders() {
+        let mut p = Plane::new(4, 4);
+        let block = vec![5u8; 16];
+        p.store_block(2, 2, 4, 4, &block);
+        assert_eq!(p.get(3, 3), 5);
+        assert_eq!(p.get(1, 1), 0);
+    }
+
+    #[test]
+    fn sad_zero_for_identical_blocks() {
+        let mut p = Plane::new(16, 16);
+        for i in 0..256 {
+            p.data_mut()[i] = (i % 251) as u8;
+        }
+        assert_eq!(p.sad(0, 0, 16, 16, &p.clone(), 0, 0), 0);
+        assert!(p.sad(0, 0, 8, 8, &p.clone(), 1, 0) > 0);
+    }
+
+    #[test]
+    fn sse_counts_squared_differences() {
+        let a = Plane::filled(2, 2, 10);
+        let b = Plane::filled(2, 2, 13);
+        assert_eq!(a.sse(&b), 4 * 9);
+    }
+}

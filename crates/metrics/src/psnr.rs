@@ -1,0 +1,114 @@
+//! Peak signal-to-noise ratio.
+
+use vapp_media::{Frame, Video};
+
+/// PSNR value reported for identical content (infinite in theory).
+///
+/// The paper's plots top out well below this; using a finite cap keeps
+/// averages well-defined, matching common tooling (e.g. VQMT caps at
+/// 100 dB).
+pub const PSNR_CAP: f64 = 100.0;
+
+/// PSNR, in dB, between a reference frame and a distorted frame.
+///
+/// # Panics
+///
+/// Panics if the frames differ in size.
+pub fn frame_psnr(reference: &Frame, distorted: &Frame) -> f64 {
+    let sse = reference.plane().sse(distorted.plane());
+    let n = (reference.width() * reference.height()) as f64;
+    mse_to_psnr(sse as f64 / n)
+}
+
+/// Converts a mean squared error to PSNR for 8-bit content.
+fn mse_to_psnr(mse: f64) -> f64 {
+    if mse <= 0.0 {
+        return PSNR_CAP;
+    }
+    (10.0 * ((255.0 * 255.0) / mse).log10()).min(PSNR_CAP)
+}
+
+/// Average PSNR across frames (the paper's headline quality metric, §6.1).
+///
+/// Follows established practice: PSNR is computed per frame and the dB
+/// values are averaged.
+///
+/// # Panics
+///
+/// Panics if the videos differ in geometry or length, or are empty.
+pub fn video_psnr(reference: &Video, distorted: &Video) -> f64 {
+    let per = video_psnr_per_frame(reference, distorted);
+    per.iter().sum::<f64>() / per.len() as f64
+}
+
+/// Per-frame PSNR series (used by the Fig. 3 experiment, which looks at a
+/// single damaged frame at a time).
+///
+/// # Panics
+///
+/// Panics if the videos differ in geometry or length, or are empty.
+pub fn video_psnr_per_frame(reference: &Video, distorted: &Video) -> Vec<f64> {
+    assert_eq!(reference.len(), distorted.len(), "video length mismatch");
+    assert!(!reference.is_empty(), "cannot compare empty videos");
+    reference
+        .iter()
+        .zip(distorted.iter())
+        .map(|(r, d)| frame_psnr(r, d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapp_media::Plane;
+
+    #[test]
+    fn identical_frames_hit_cap() {
+        let f = Frame::filled(16, 16, 42);
+        assert_eq!(frame_psnr(&f, &f), PSNR_CAP);
+    }
+
+    #[test]
+    fn known_mse_gives_expected_psnr() {
+        // Uniform difference of 1 => MSE 1 => PSNR = 20*log10(255) ≈ 48.13 dB.
+        let a = Frame::filled(16, 16, 100);
+        let b = Frame::filled(16, 16, 101);
+        let p = frame_psnr(&a, &b);
+        assert!((p - 48.1308).abs() < 1e-3, "psnr = {p}");
+    }
+
+    #[test]
+    fn worse_distortion_means_lower_psnr() {
+        let a = Frame::filled(16, 16, 100);
+        let b = Frame::filled(16, 16, 105);
+        let c = Frame::filled(16, 16, 120);
+        assert!(frame_psnr(&a, &b) > frame_psnr(&a, &c));
+    }
+
+    #[test]
+    fn video_average_is_mean_of_frames() {
+        let r = Video::from_frames(vec![Frame::filled(8, 8, 10); 2], 25.0);
+        let mut d1 = Frame::filled(8, 8, 10);
+        d1.plane_mut().set(0, 0, 20);
+        let d = Video::from_frames(vec![Frame::filled(8, 8, 10), d1], 25.0);
+        let per = video_psnr_per_frame(&r, &d);
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0], PSNR_CAP);
+        assert!(per[1] < PSNR_CAP);
+        let avg = video_psnr(&r, &d);
+        assert!((avg - (per[0] + per[1]) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_is_symmetric() {
+        let mut pa = Plane::new(8, 8);
+        let mut pb = Plane::new(8, 8);
+        for i in 0..64 {
+            pa.data_mut()[i] = (i * 3 % 256) as u8;
+            pb.data_mut()[i] = (i * 7 % 256) as u8;
+        }
+        let a = Frame::from_plane(pa);
+        let b = Frame::from_plane(pb);
+        assert_eq!(frame_psnr(&a, &b), frame_psnr(&b, &a));
+    }
+}

@@ -1,0 +1,225 @@
+//! Structural similarity metrics (SSIM, MS-SSIM).
+
+use vapp_media::{Frame, Plane, Video};
+
+const K1: f64 = 0.01;
+const K2: f64 = 0.03;
+const L: f64 = 255.0;
+const WINDOW: usize = 8;
+
+/// Standard five-scale MS-SSIM weights (Wang et al. 2003).
+const MS_WEIGHTS: [f64; 5] = [0.0448, 0.2856, 0.3001, 0.2363, 0.1333];
+
+/// SSIM between two frames, using non-overlapping 8x8 windows.
+///
+/// Returns a value in `[-1, 1]`; 1 means identical.
+///
+/// # Panics
+///
+/// Panics if the frames differ in size.
+pub fn frame_ssim(reference: &Frame, distorted: &Frame) -> f64 {
+    plane_ssim(reference.plane(), distorted.plane())
+}
+
+fn plane_ssim(a: &Plane, b: &Plane) -> f64 {
+    assert_eq!(a.width(), b.width(), "frame width mismatch");
+    assert_eq!(a.height(), b.height(), "frame height mismatch");
+    let c1 = (K1 * L) * (K1 * L);
+    let c2 = (K2 * L) * (K2 * L);
+
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    let mut wy = 0;
+    while wy < a.height() {
+        let h = WINDOW.min(a.height() - wy);
+        let mut wx = 0;
+        while wx < a.width() {
+            let w = WINDOW.min(a.width() - wx);
+            let n = (w * h) as f64;
+            let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for y in wy..wy + h {
+                for x in wx..wx + w {
+                    let pa = a.get(x, y) as f64;
+                    let pb = b.get(x, y) as f64;
+                    sa += pa;
+                    sb += pb;
+                    saa += pa * pa;
+                    sbb += pb * pb;
+                    sab += pa * pb;
+                }
+            }
+            let ma = sa / n;
+            let mb = sb / n;
+            let va = (saa / n - ma * ma).max(0.0);
+            let vb = (sbb / n - mb * mb).max(0.0);
+            let cov = sab / n - ma * mb;
+            let ssim = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+                / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+            total += ssim;
+            windows += 1;
+            wx += WINDOW;
+        }
+        wy += WINDOW;
+    }
+    total / windows as f64
+}
+
+/// Average SSIM across frames.
+///
+/// # Panics
+///
+/// Panics if the videos differ in geometry or length, or are empty.
+pub fn video_ssim(reference: &Video, distorted: &Video) -> f64 {
+    assert_eq!(reference.len(), distorted.len(), "video length mismatch");
+    assert!(!reference.is_empty(), "cannot compare empty videos");
+    reference
+        .iter()
+        .zip(distorted.iter())
+        .map(|(r, d)| frame_ssim(r, d))
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// Downsamples a plane by 2x with a 2x2 box filter.
+fn downsample(p: &Plane) -> Plane {
+    let w = (p.width() / 2).max(1);
+    let h = (p.height() / 2).max(1);
+    let mut out = Plane::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut sum = 0u32;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    sum += p.sample((2 * x + dx) as isize, (2 * y + dy) as isize) as u32;
+                }
+            }
+            out.set(x, y, (sum / 4) as u8);
+        }
+    }
+    out
+}
+
+/// Multi-scale SSIM averaged across frames.
+///
+/// Uses up to five dyadic scales (fewer when the frame is small) with the
+/// standard weights renormalised over the scales actually used. This is the
+/// cross-check metric the paper mentions alongside PSNR (§6.1).
+///
+/// # Panics
+///
+/// Panics if the videos differ in geometry or length, or are empty.
+pub fn video_ms_ssim(reference: &Video, distorted: &Video) -> f64 {
+    assert_eq!(reference.len(), distorted.len(), "video length mismatch");
+    assert!(!reference.is_empty(), "cannot compare empty videos");
+    let mut total = 0.0;
+    for (r, d) in reference.iter().zip(distorted.iter()) {
+        total += frame_ms_ssim(r, d);
+    }
+    total / reference.len() as f64
+}
+
+fn frame_ms_ssim(reference: &Frame, distorted: &Frame) -> f64 {
+    let mut a = reference.plane().clone();
+    let mut b = distorted.plane().clone();
+    let mut scores = Vec::new();
+    for _ in 0..MS_WEIGHTS.len() {
+        scores.push(plane_ssim(&a, &b));
+        if a.width() / 2 < WINDOW || a.height() / 2 < WINDOW {
+            break;
+        }
+        a = downsample(&a);
+        b = downsample(&b);
+    }
+    let weights = &MS_WEIGHTS[..scores.len()];
+    let wsum: f64 = weights.iter().sum();
+    // Weighted geometric mean over the scales used; clamp negatives, which
+    // can only arise from heavy distortion, to a tiny positive number.
+    let mut acc = 0.0;
+    for (s, w) in scores.iter().zip(weights) {
+        acc += (w / wsum) * s.max(1e-6).ln();
+    }
+    acc.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(width: usize, height: usize, seed: u8) -> Frame {
+        let mut f = Frame::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let v = (x * 13 + y * 31 + seed as usize * 7) % 256;
+                f.plane_mut().set(x, y, v as u8);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn identical_frames_score_one() {
+        let f = textured(32, 32, 1);
+        assert!((frame_ssim(&f, &f) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distortion_lowers_ssim() {
+        let a = textured(32, 32, 1);
+        let mut b = a.clone();
+        for i in 0..256 {
+            let v = b.plane().data()[i * 4];
+            b.plane_mut().data_mut()[i * 4] = v.wrapping_add(60);
+        }
+        let s = frame_ssim(&a, &b);
+        assert!(s < 0.99, "ssim = {s}");
+        assert!(s > -1.0);
+    }
+
+    #[test]
+    fn ssim_handles_non_multiple_sizes() {
+        let a = textured(20, 13, 2);
+        assert!((frame_ssim(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ms_ssim_identical_is_one() {
+        let v = Video::from_frames(vec![textured(64, 64, 3); 2], 25.0);
+        assert!((video_ms_ssim(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ms_ssim_orders_like_ssim() {
+        let a = Video::from_frames(vec![textured(64, 64, 3); 2], 25.0);
+        let mut light = a.clone();
+        let mut heavy = a.clone();
+        // Rebuild with perturbed frames.
+        light = {
+            let mut frames: Vec<Frame> = light.frames().to_vec();
+            for f in &mut frames {
+                f.plane_mut().data_mut()[0] ^= 0x40;
+            }
+            Video::from_frames(frames, 25.0)
+        };
+        heavy = {
+            let mut frames: Vec<Frame> = heavy.frames().to_vec();
+            for f in &mut frames {
+                for p in f.plane_mut().data_mut().iter_mut().step_by(2) {
+                    *p = p.wrapping_add(80);
+                }
+            }
+            Video::from_frames(frames, 25.0)
+        };
+        let sl = video_ms_ssim(&a, &light);
+        let sh = video_ms_ssim(&a, &heavy);
+        assert!(sl > sh, "light {sl} vs heavy {sh}");
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let p = Plane::filled(16, 10, 50);
+        let d = downsample(&p);
+        assert_eq!(d.width(), 8);
+        assert_eq!(d.height(), 5);
+        assert_eq!(d.get(3, 3), 50);
+    }
+}

@@ -1,0 +1,169 @@
+//! Pixel-domain Visual Information Fidelity (VIF-P).
+//!
+//! The fourth metric of the paper's quality tool (§6.1, VQMT). VIF models
+//! the reference and distorted images as passing through a noisy channel
+//! and measures the ratio of mutual information preserved. This is the
+//! standard pixel-domain simplification over four dyadic scales.
+
+use vapp_media::{Frame, Plane, Video};
+
+/// Visual-noise variance of the VIF model.
+const SIGMA_N2: f64 = 2.0;
+const WINDOW: usize = 8;
+const SCALES: usize = 4;
+
+/// VIF-P between two frames; 1 = identical, 0 = no information preserved
+/// (values can slightly exceed 1 when the "distorted" image is sharper).
+///
+/// # Panics
+///
+/// Panics if the frames differ in size.
+pub fn frame_vifp(reference: &Frame, distorted: &Frame) -> f64 {
+    let mut r = reference.plane().clone();
+    let mut d = distorted.plane().clone();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for scale in 0..SCALES {
+        if scale > 0 {
+            if r.width() < 2 * WINDOW || r.height() < 2 * WINDOW {
+                break;
+            }
+            r = downsample2(&r);
+            d = downsample2(&d);
+        }
+        let (n, dn) = vif_scale(&r, &d);
+        num += n;
+        den += dn;
+    }
+    if den <= 0.0 {
+        return 1.0;
+    }
+    num / den
+}
+
+fn vif_scale(r: &Plane, d: &Plane) -> (f64, f64) {
+    assert_eq!(r.width(), d.width(), "frame width mismatch");
+    assert_eq!(r.height(), d.height(), "frame height mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut wy = 0;
+    while wy + WINDOW <= r.height() {
+        let mut wx = 0;
+        while wx + WINDOW <= r.width() {
+            let n = (WINDOW * WINDOW) as f64;
+            let (mut sr, mut sd, mut srr, mut sdd, mut srd) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for y in wy..wy + WINDOW {
+                for x in wx..wx + WINDOW {
+                    let pr = r.get(x, y) as f64;
+                    let pd = d.get(x, y) as f64;
+                    sr += pr;
+                    sd += pd;
+                    srr += pr * pr;
+                    sdd += pd * pd;
+                    srd += pr * pd;
+                }
+            }
+            let mr = sr / n;
+            let md = sd / n;
+            let var_r = (srr / n - mr * mr).max(0.0);
+            let var_d = (sdd / n - md * md).max(0.0);
+            let cov = srd / n - mr * md;
+            let g = if var_r > 1e-10 { cov / var_r } else { 0.0 };
+            let sv2 = (var_d - g * cov).max(0.0);
+            num += (1.0 + g * g * var_r / (sv2 + SIGMA_N2)).log2();
+            den += (1.0 + var_r / SIGMA_N2).log2();
+            wx += WINDOW;
+        }
+        wy += WINDOW;
+    }
+    (num, den)
+}
+
+fn downsample2(p: &Plane) -> Plane {
+    let w = (p.width() / 2).max(1);
+    let h = (p.height() / 2).max(1);
+    let mut out = Plane::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut sum = 0u32;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    sum += p.sample((2 * x + dx) as isize, (2 * y + dy) as isize) as u32;
+                }
+            }
+            out.set(x, y, (sum / 4) as u8);
+        }
+    }
+    out
+}
+
+/// Average VIF-P across frames.
+///
+/// # Panics
+///
+/// Panics if the videos differ in geometry or length, or are empty.
+pub fn video_vifp(reference: &Video, distorted: &Video) -> f64 {
+    assert_eq!(reference.len(), distorted.len(), "video length mismatch");
+    assert!(!reference.is_empty(), "cannot compare empty videos");
+    reference
+        .iter()
+        .zip(distorted.iter())
+        .map(|(r, d)| frame_vifp(r, d))
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(seed: u8) -> Frame {
+        let mut f = Frame::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                f.plane_mut()
+                    .set(x, y, ((x * 11 + y * 17 + seed as usize * 5) % 256) as u8);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn identical_frames_score_one() {
+        let f = textured(1);
+        let v = frame_vifp(&f, &f);
+        assert!((v - 1.0).abs() < 1e-9, "vif = {v}");
+    }
+
+    #[test]
+    fn distortion_lowers_vif() {
+        let a = textured(1);
+        let mut light = a.clone();
+        for p in light.plane_mut().data_mut().iter_mut().step_by(16) {
+            *p = p.wrapping_add(20);
+        }
+        let mut heavy = a.clone();
+        for p in heavy.plane_mut().data_mut().iter_mut().step_by(2) {
+            *p = p.wrapping_add(90);
+        }
+        let vl = frame_vifp(&a, &light);
+        let vh = frame_vifp(&a, &heavy);
+        assert!(vl < 1.0);
+        assert!(vh < vl, "heavy {vh} must score below light {vl}");
+        assert!(vh >= 0.0);
+    }
+
+    #[test]
+    fn constant_frames_are_degenerate_but_defined() {
+        let a = Frame::filled(32, 32, 100);
+        let b = Frame::filled(32, 32, 100);
+        let v = frame_vifp(&a, &b);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn video_average_works() {
+        let v = Video::from_frames(vec![textured(3); 3], 25.0);
+        assert!((video_vifp(&v, &v) - 1.0).abs() < 1e-9);
+    }
+}

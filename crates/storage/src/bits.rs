@@ -1,0 +1,236 @@
+//! Bit-addressed helpers over byte buffers (LSB-first within a byte).
+//!
+//! The storage stack moves data around as packed bit vectors: BCH
+//! codewords are not byte multiples (512 data + 10·X parity bits), and MLC
+//! cells hold three bits each.
+
+/// Reads bit `i` (LSB-first within each byte).
+#[inline]
+pub fn get_bit(bytes: &[u8], i: usize) -> bool {
+    (bytes[i / 8] >> (i % 8)) & 1 == 1
+}
+
+/// Sets bit `i` to `v` (LSB-first within each byte).
+#[inline]
+pub fn set_bit(bytes: &mut [u8], i: usize, v: bool) {
+    if v {
+        bytes[i / 8] |= 1 << (i % 8);
+    } else {
+        bytes[i / 8] &= !(1 << (i % 8));
+    }
+}
+
+/// Flips bit `i`.
+#[inline]
+pub fn flip_bit(bytes: &mut [u8], i: usize) {
+    bytes[i / 8] ^= 1 << (i % 8);
+}
+
+/// Number of bytes needed for `bits` bits.
+#[inline]
+pub fn bytes_for(bits: usize) -> usize {
+    bits.div_ceil(8)
+}
+
+/// A growable, bit-addressed buffer.
+///
+/// # Example
+///
+/// ```
+/// use vapp_storage::bits::BitBuf;
+///
+/// let mut b = BitBuf::new();
+/// b.push(true);
+/// b.push(false);
+/// b.push(true);
+/// assert_eq!(b.len(), 3);
+/// assert!(b.get(0));
+/// assert!(!b.get(1));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct BitBuf {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl BitBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a zeroed buffer of `bits` bits.
+    pub fn zeroed(bits: usize) -> Self {
+        BitBuf {
+            bytes: vec![0u8; bytes_for(bits)],
+            len: bits,
+        }
+    }
+
+    /// Builds a buffer from the low `bits` bits of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too short for `bits`.
+    pub fn from_bytes(bytes: &[u8], bits: usize) -> Self {
+        assert!(bytes.len() * 8 >= bits, "byte buffer too short");
+        BitBuf {
+            bytes: bytes[..bytes_for(bits)].to_vec(),
+            len: bits,
+        }
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index out of range");
+        get_bit(&self.bytes, i)
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index out of range");
+        set_bit(&mut self.bytes, i, v);
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index out of range");
+        flip_bit(&mut self.bytes, i);
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, v: bool) {
+        if self.len % 8 == 0 {
+            self.bytes.push(0);
+        }
+        self.len += 1;
+        let i = self.len - 1;
+        set_bit(&mut self.bytes, i, v);
+    }
+
+    /// Appends `count` bits from `other` starting at `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source range is out of bounds.
+    pub fn extend_from(&mut self, other: &BitBuf, from: usize, count: usize) {
+        assert!(from + count <= other.len, "source range out of bounds");
+        for i in 0..count {
+            self.push(other.get(from + i));
+        }
+    }
+
+    /// The packed bytes (trailing bits of the last byte are zero).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Number of bits that differ from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hamming_distance(&self, other: &BitBuf) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let mut d = 0;
+        for (i, (a, b)) in self.bytes.iter().zip(&other.bytes).enumerate() {
+            let mut x = a ^ b;
+            // Mask out padding bits in the final byte.
+            if i == self.bytes.len() - 1 && self.len % 8 != 0 {
+                x &= (1u8 << (self.len % 8)) - 1;
+            }
+            d += x.count_ones() as usize;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set() {
+        let mut b = BitBuf::new();
+        for i in 0..20 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 20);
+        for i in 0..20 {
+            assert_eq!(b.get(i), i % 3 == 0);
+        }
+        b.set(1, true);
+        assert!(b.get(1));
+        b.flip(1);
+        assert!(!b.get(1));
+    }
+
+    #[test]
+    fn zeroed_and_from_bytes() {
+        let z = BitBuf::zeroed(17);
+        assert_eq!(z.len(), 17);
+        assert!((0..17).all(|i| !z.get(i)));
+        let f = BitBuf::from_bytes(&[0b0000_0101, 0xFF], 10);
+        assert!(f.get(0));
+        assert!(!f.get(1));
+        assert!(f.get(2));
+        assert!(f.get(8));
+    }
+
+    #[test]
+    fn extend_from_copies_ranges() {
+        let mut a = BitBuf::new();
+        for i in 0..16 {
+            a.push(i % 2 == 0);
+        }
+        let mut b = BitBuf::new();
+        b.extend_from(&a, 4, 8);
+        assert_eq!(b.len(), 8);
+        for i in 0..8 {
+            assert_eq!(b.get(i), (i + 4) % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn hamming_distance_ignores_padding() {
+        let mut a = BitBuf::zeroed(9);
+        let mut b = BitBuf::zeroed(9);
+        a.set(8, true);
+        assert_eq!(a.hamming_distance(&b), 1);
+        b.set(8, true);
+        assert_eq!(a.hamming_distance(&b), 0);
+        a.set(0, true);
+        assert_eq!(a.hamming_distance(&b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        BitBuf::zeroed(4).get(4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Arithmetic in GF(2^10) — the field behind the BCH codes.
+//!
+//! The paper's substrate protects 512-bit blocks with BCH-X codes whose
+//! parity is 10 bits per corrected error; that "10" is exactly the degree
+//! of this field over GF(2) (codeword length n = 2^10 − 1 = 1023, shortened
+//! to 512 + 10X).
+
+/// Field order minus one (number of nonzero elements).
+pub const GF_ORDER: usize = 1023;
+
+/// Primitive polynomial x^10 + x^3 + 1.
+const PRIM_POLY: u32 = 0x409;
+
+/// Precomputed exponential/logarithm tables for GF(2^10).
+#[derive(Debug)]
+pub struct Gf1024 {
+    exp: [u16; 2 * GF_ORDER],
+    log: [u16; GF_ORDER + 1],
+}
+
+impl Gf1024 {
+    fn build() -> Box<Gf1024> {
+        let mut exp = [0u16; 2 * GF_ORDER];
+        let mut log = [0u16; GF_ORDER + 1];
+        let mut x: u32 = 1;
+        for (i, e) in exp.iter_mut().take(GF_ORDER).enumerate() {
+            *e = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x400 != 0 {
+                x ^= PRIM_POLY;
+            }
+        }
+        for i in GF_ORDER..2 * GF_ORDER {
+            exp[i] = exp[i - GF_ORDER];
+        }
+        Box::new(Gf1024 { exp, log })
+    }
+
+    /// The shared table instance.
+    pub fn get() -> &'static Gf1024 {
+        use std::sync::OnceLock;
+        static INSTANCE: OnceLock<Box<Gf1024>> = OnceLock::new();
+        INSTANCE.get_or_init(Gf1024::build)
+    }
+
+    /// α^i (any non-negative exponent).
+    #[inline]
+    pub fn alpha_pow(&self, i: usize) -> u16 {
+        self.exp[i % GF_ORDER]
+    }
+
+    /// Discrete log of a nonzero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0` (zero has no logarithm).
+    #[inline]
+    pub fn log(&self, a: u16) -> u16 {
+        assert!(a != 0, "log of zero");
+        self.log[a as usize]
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[inline]
+    pub fn inv(&self, a: u16) -> u16 {
+        assert!(a != 0, "inverse of zero");
+        self.exp[GF_ORDER - self.log[a as usize] as usize]
+    }
+
+    /// a^k for field element a.
+    pub fn pow(&self, a: u16, k: usize) -> u16 {
+        if a == 0 {
+            return if k == 0 { 1 } else { 0 };
+        }
+        self.exp[(self.log[a as usize] as usize * k) % GF_ORDER]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_generates_the_whole_group() {
+        let gf = Gf1024::get();
+        let mut seen = vec![false; GF_ORDER + 1];
+        for i in 0..GF_ORDER {
+            let v = gf.alpha_pow(i) as usize;
+            assert!(v != 0 && v <= GF_ORDER);
+            assert!(!seen[v], "alpha^{i} repeats");
+            seen[v] = true;
+        }
+        assert_eq!(gf.alpha_pow(GF_ORDER), 1); // α^1023 = 1
+    }
+
+    #[test]
+    fn mul_matches_log_sum() {
+        let gf = Gf1024::get();
+        for (a, b) in [(3u16, 7u16), (100, 900), (1023, 1), (512, 2)] {
+            let p = gf.mul(a, b);
+            assert_ne!(p, 0);
+            assert_eq!(
+                (gf.log(a) as usize + gf.log(b) as usize) % GF_ORDER,
+                gf.log(p) as usize
+            );
+        }
+        assert_eq!(gf.mul(0, 5), 0);
+        assert_eq!(gf.mul(5, 0), 0);
+    }
+
+    #[test]
+    fn inverse_really_inverts() {
+        let gf = Gf1024::get();
+        for a in 1..=GF_ORDER as u16 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn pow_basics() {
+        let gf = Gf1024::get();
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 5), 0);
+        let a = gf.alpha_pow(1);
+        assert_eq!(gf.pow(a, GF_ORDER), 1);
+        assert_eq!(gf.pow(a, 3), gf.alpha_pow(3));
+    }
+
+    #[test]
+    fn primitive_polynomial_is_satisfied() {
+        // α^10 = α^3 + 1 under x^10 + x^3 + 1.
+        let gf = Gf1024::get();
+        assert_eq!(gf.alpha_pow(10), gf.alpha_pow(3) ^ 1);
+    }
+}

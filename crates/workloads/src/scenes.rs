@@ -1,0 +1,315 @@
+//! Scene generators.
+
+use crate::texture::ValueNoise;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vapp_media::{Frame, Video};
+
+/// The kind of synthetic scene to generate.
+///
+/// Each kind targets a statistic the paper's experiments depend on; see the
+/// crate docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SceneKind {
+    /// Textured background with several slowly moving textured rectangles.
+    MovingBlocks,
+    /// Like [`SceneKind::MovingBlocks`] but with large per-frame motion,
+    /// stressing motion search and producing large residuals.
+    FastMotion,
+    /// Global horizontal/vertical pan over a large texture (every MB moves
+    /// coherently — long compensation chains).
+    Panning,
+    /// Static background with one small region in motion (talking-head
+    /// analog; most MBs are cheap skips/small residuals).
+    LocalMotion,
+    /// Static scene with per-pixel sensor noise (worst case for temporal
+    /// prediction of fine detail).
+    NoisyStatic,
+    /// Alternating scenes with hard cuts every ~2 seconds worth of frames
+    /// (forces intra-heavy frames mid-GOP).
+    SceneCuts,
+    /// Slow global brightness/scale oscillation ("breathing" zoom analog).
+    Breathing,
+}
+
+/// Builder for one synthetic clip.
+#[derive(Clone, Debug)]
+pub struct ClipSpec {
+    width: usize,
+    height: usize,
+    frames: usize,
+    fps: f64,
+    seed: u64,
+    kind: SceneKind,
+    noise_level: f64,
+}
+
+impl ClipSpec {
+    /// Creates a spec with default fps (50, as in the Xiph suite), seed 0
+    /// and mild sensor noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension or the frame count is zero.
+    pub fn new(width: usize, height: usize, frames: usize, kind: SceneKind) -> Self {
+        assert!(width > 0 && height > 0, "dimensions must be nonzero");
+        assert!(frames > 0, "frame count must be nonzero");
+        ClipSpec {
+            width,
+            height,
+            frames,
+            fps: 50.0,
+            seed: 0,
+            kind,
+            noise_level: 1.0,
+        }
+    }
+
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the frame rate (metadata only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not finite and positive.
+    pub fn fps(mut self, fps: f64) -> Self {
+        assert!(fps.is_finite() && fps > 0.0, "fps must be positive");
+        self.fps = fps;
+        self
+    }
+
+    /// Sets the sensor-noise amplitude in luma steps (0 disables).
+    pub fn noise_level(mut self, level: f64) -> Self {
+        assert!(level >= 0.0, "noise level must be non-negative");
+        self.noise_level = level;
+        self
+    }
+
+    /// Generates the clip.
+    pub fn generate(&self) -> Video {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let bg = ValueNoise::new(self.seed.wrapping_add(1), 24.0);
+        let detail = ValueNoise::new(self.seed.wrapping_add(2), 5.0);
+        let sprite_tex = ValueNoise::new(self.seed.wrapping_add(3), 7.0);
+
+        let sprites = self.make_sprites(&mut rng);
+        let mut frames = Vec::with_capacity(self.frames);
+        for t in 0..self.frames {
+            frames.push(self.render_frame(t, &bg, &detail, &sprite_tex, &sprites, &mut rng));
+        }
+        Video::from_frames(frames, self.fps)
+    }
+
+    fn make_sprites(&self, rng: &mut StdRng) -> Vec<Sprite> {
+        let n = match self.kind {
+            SceneKind::MovingBlocks | SceneKind::FastMotion => 4,
+            SceneKind::LocalMotion => 1,
+            SceneKind::SceneCuts => 3,
+            _ => 0,
+        };
+        let speed = match self.kind {
+            SceneKind::FastMotion => 6.0,
+            SceneKind::LocalMotion => 1.2,
+            _ => 1.8,
+        };
+        (0..n)
+            .map(|_| Sprite {
+                x: rng.random_range(0.0..self.width as f64),
+                y: rng.random_range(0.0..self.height as f64),
+                vx: rng.random_range(-speed..speed),
+                vy: rng.random_range(-speed..speed),
+                w: rng.random_range(self.width as f64 * 0.12..self.width as f64 * 0.3),
+                h: rng.random_range(self.height as f64 * 0.12..self.height as f64 * 0.3),
+                shade: rng.random_range(-60.0..60.0),
+            })
+            .collect()
+    }
+
+    fn render_frame(
+        &self,
+        t: usize,
+        bg: &ValueNoise,
+        detail: &ValueNoise,
+        sprite_tex: &ValueNoise,
+        sprites: &[Sprite],
+        rng: &mut StdRng,
+    ) -> Frame {
+        let tf = t as f64;
+        // Scene-cut clips swap texture phase every `cut_period` frames.
+        let cut_period = 24usize.max(self.frames / 4);
+        let scene_id = if self.kind == SceneKind::SceneCuts {
+            t / cut_period
+        } else {
+            0
+        };
+        let scene_off = scene_id as f64 * 1000.0;
+
+        let (pan_x, pan_y) = match self.kind {
+            SceneKind::Panning => (tf * 2.0, tf * 0.7),
+            SceneKind::MovingBlocks | SceneKind::LocalMotion | SceneKind::SceneCuts => {
+                (tf * 0.2, 0.0)
+            }
+            SceneKind::FastMotion => (tf * 4.0, tf * 1.5),
+            _ => (0.0, 0.0),
+        };
+        let breath = if self.kind == SceneKind::Breathing {
+            1.0 + 0.05 * (tf * 0.15).sin()
+        } else {
+            1.0
+        };
+        let brightness = if self.kind == SceneKind::Breathing {
+            10.0 * (tf * 0.1).sin()
+        } else {
+            0.0
+        };
+
+        let mut frame = Frame::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let sx = (x as f64 + pan_x + scene_off) * breath;
+                let sy = (y as f64 + pan_y + scene_off * 0.5) * breath;
+                let base = bg.fractal(sx, sy, 3) * 170.0 + detail.sample(sx, sy) * 50.0 + 20.0;
+                let mut v = base + brightness;
+
+                for s in sprites {
+                    let (cx, cy) = s.position(tf, self.width as f64, self.height as f64);
+                    let dx = x as f64 - cx;
+                    let dy = y as f64 - cy;
+                    if dx.abs() < s.w / 2.0 && dy.abs() < s.h / 2.0 {
+                        let tex =
+                            sprite_tex.sample(dx + scene_off, dy + scene_off * 0.3) * 40.0;
+                        v = base * 0.4 + 90.0 + s.shade + tex;
+                    }
+                }
+
+                if self.noise_level > 0.0
+                    && (self.kind == SceneKind::NoisyStatic || self.noise_level > 1.5)
+                {
+                    v += rng.random_range(-3.0 * self.noise_level..3.0 * self.noise_level);
+                } else if self.noise_level > 0.0 {
+                    v += rng.random_range(-self.noise_level..self.noise_level);
+                }
+                frame.plane_mut().set(x, y, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        frame
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sprite {
+    x: f64,
+    y: f64,
+    vx: f64,
+    vy: f64,
+    w: f64,
+    h: f64,
+    shade: f64,
+}
+
+impl Sprite {
+    /// Position at time `t`, bouncing off the frame borders.
+    fn position(&self, t: f64, width: f64, height: f64) -> (f64, f64) {
+        (
+            reflect(self.x + self.vx * t, width),
+            reflect(self.y + self.vy * t, height),
+        )
+    }
+}
+
+/// Reflects an unbounded coordinate into `[0, bound)` (triangle wave).
+fn reflect(v: f64, bound: f64) -> f64 {
+    if bound <= 0.0 {
+        return 0.0;
+    }
+    let period = 2.0 * bound;
+    let m = v.rem_euclid(period);
+    if m < bound {
+        m
+    } else {
+        period - m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let v = ClipSpec::new(32, 24, 5, SceneKind::Panning).generate();
+        assert_eq!((v.width(), v.height(), v.len()), (32, 24, 5));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ClipSpec::new(32, 24, 3, SceneKind::MovingBlocks).seed(5).generate();
+        let b = ClipSpec::new(32, 24, 3, SceneKind::MovingBlocks).seed(5).generate();
+        assert_eq!(a, b);
+        let c = ClipSpec::new(32, 24, 3, SceneKind::MovingBlocks).seed(6).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn panning_scene_actually_moves() {
+        let v = ClipSpec::new(48, 32, 4, SceneKind::Panning).noise_level(0.0).generate();
+        let first = v.get(0).unwrap();
+        let last = v.get(3).unwrap();
+        assert!(first.plane().sse(last.plane()) > 0, "pan produced static frames");
+    }
+
+    #[test]
+    fn static_noisy_scene_differs_only_by_noise() {
+        let v = ClipSpec::new(32, 32, 3, SceneKind::NoisyStatic).generate();
+        let sse01 = v.get(0).unwrap().plane().sse(v.get(1).unwrap().plane());
+        // Noise makes frames differ, but only slightly per pixel.
+        assert!(sse01 > 0);
+        let mse = sse01 as f64 / 1024.0;
+        assert!(mse < 100.0, "noise too strong: mse {mse}");
+    }
+
+    #[test]
+    fn scene_cut_changes_content_sharply() {
+        let frames = 64;
+        let v = ClipSpec::new(32, 32, frames, SceneKind::SceneCuts)
+            .noise_level(0.0)
+            .generate();
+        let cut_period = 24usize.max(frames / 4);
+        // Compare across the first cut against within-scene difference.
+        let within = v
+            .get(0)
+            .unwrap()
+            .plane()
+            .sse(v.get(1).unwrap().plane());
+        let across = v
+            .get(cut_period - 1)
+            .unwrap()
+            .plane()
+            .sse(v.get(cut_period).unwrap().plane());
+        assert!(
+            across > within * 4,
+            "cut not sharp: within {within}, across {across}"
+        );
+    }
+
+    #[test]
+    fn reflect_stays_in_bounds() {
+        for i in -100..100 {
+            let r = reflect(i as f64 * 3.7, 32.0);
+            assert!((0.0..=32.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn luma_values_span_a_reasonable_range() {
+        let v = ClipSpec::new(64, 64, 2, SceneKind::MovingBlocks).generate();
+        let data = v.get(0).unwrap().plane().data();
+        let min = *data.iter().min().unwrap();
+        let max = *data.iter().max().unwrap();
+        assert!(max - min > 40, "texture too flat: {min}..{max}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Seeded value-noise textures.
+//!
+//! Natural video frames have spatially-correlated luma; pure white noise
+//! would make motion estimation useless and inflate bitrates unrealistically.
+//! [`ValueNoise`] produces smooth, band-limited 2D noise by bilinear
+//! interpolation of a seeded random lattice at several octaves.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic 2D value-noise field.
+///
+/// # Example
+///
+/// ```
+/// use vapp_workloads::ValueNoise;
+///
+/// let n = ValueNoise::new(42, 16.0);
+/// let a = n.sample(1.5, 2.5);
+/// assert_eq!(a, n.sample(1.5, 2.5)); // deterministic
+/// ```
+#[derive(Clone, Debug)]
+pub struct ValueNoise {
+    lattice: Vec<f64>,
+    size: usize,
+    scale: f64,
+}
+
+impl ValueNoise {
+    /// Lattice resolution (wraps around, so textures tile).
+    const SIZE: usize = 64;
+
+    /// Creates a noise field from a seed. `scale` is the feature size in
+    /// pixels (larger = smoother).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn new(seed: u64, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lattice = (0..Self::SIZE * Self::SIZE)
+            .map(|_| rng.random::<f64>())
+            .collect();
+        ValueNoise {
+            lattice,
+            size: Self::SIZE,
+            scale,
+        }
+    }
+
+    fn lattice_at(&self, ix: i64, iy: i64) -> f64 {
+        let n = self.size as i64;
+        let x = ix.rem_euclid(n) as usize;
+        let y = iy.rem_euclid(n) as usize;
+        self.lattice[y * self.size + x]
+    }
+
+    /// Samples the field at pixel coordinates; result in `[0, 1]`.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let fx = x / self.scale;
+        let fy = y / self.scale;
+        let ix = fx.floor() as i64;
+        let iy = fy.floor() as i64;
+        let tx = fx - ix as f64;
+        let ty = fy - iy as f64;
+        // Smoothstep interpolation avoids visible lattice artifacts.
+        let sx = tx * tx * (3.0 - 2.0 * tx);
+        let sy = ty * ty * (3.0 - 2.0 * ty);
+        let v00 = self.lattice_at(ix, iy);
+        let v10 = self.lattice_at(ix + 1, iy);
+        let v01 = self.lattice_at(ix, iy + 1);
+        let v11 = self.lattice_at(ix + 1, iy + 1);
+        let top = v00 + (v10 - v00) * sx;
+        let bottom = v01 + (v11 - v01) * sx;
+        top + (bottom - top) * sy
+    }
+
+    /// Samples fractal (multi-octave) noise at pixel coordinates; result in
+    /// `[0, 1]`.
+    pub fn fractal(&self, x: f64, y: f64, octaves: u32) -> f64 {
+        let mut total = 0.0;
+        let mut amplitude = 1.0;
+        let mut norm = 0.0;
+        let mut freq = 1.0;
+        for _ in 0..octaves.max(1) {
+            total += amplitude * self.sample(x * freq, y * freq);
+            norm += amplitude;
+            amplitude *= 0.5;
+            freq *= 2.0;
+        }
+        total / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = ValueNoise::new(9, 8.0);
+        let b = ValueNoise::new(9, 8.0);
+        for i in 0..20 {
+            let (x, y) = (i as f64 * 1.7, i as f64 * 0.9);
+            assert_eq!(a.sample(x, y), b.sample(x, y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ValueNoise::new(1, 8.0);
+        let b = ValueNoise::new(2, 8.0);
+        let differs = (0..50).any(|i| {
+            let (x, y) = (i as f64 * 2.3, i as f64 * 1.1);
+            (a.sample(x, y) - b.sample(x, y)).abs() > 1e-9
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn samples_in_unit_range() {
+        let n = ValueNoise::new(3, 4.0);
+        for i in 0..200 {
+            let v = n.fractal(i as f64 * 0.37, i as f64 * 0.73, 4);
+            assert!((0.0..=1.0).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn smooth_across_small_steps() {
+        let n = ValueNoise::new(5, 16.0);
+        let a = n.sample(10.0, 10.0);
+        let b = n.sample(10.5, 10.0);
+        assert!((a - b).abs() < 0.2, "noise too rough: {a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = ValueNoise::new(0, 0.0);
+    }
+}

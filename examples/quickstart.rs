@@ -1,0 +1,82 @@
+//! Quickstart: the whole VideoApp flow on one synthetic clip.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vapp_codec::{decode, Encoder, EncoderConfig};
+use vapp_metrics::video_psnr;
+use vapp_workloads::{ClipSpec, SceneKind};
+use videoapp::{
+    ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy,
+};
+
+fn main() {
+    // 1. A raw clip (stand-in for camera footage).
+    let video = ClipSpec::new(160, 96, 48, SceneKind::MovingBlocks)
+        .seed(42)
+        .generate();
+    println!("raw video: {}x{}x{} frames", video.width(), video.height(), video.len());
+
+    // 2. Encode with dependency recording (H.264-style, CABAC).
+    let encoder = Encoder::new(EncoderConfig::default());
+    let result = encoder.encode(&video);
+    let bits = result.stream.payload_bits();
+    println!(
+        "encoded: {} payload bits ({:.1}x compression), PSNR {:.2} dB",
+        bits,
+        (video.total_pixels() * 8) as f64 / bits as f64,
+        video_psnr(&video, &result.reconstruction),
+    );
+
+    // 3. VideoApp importance analysis (the paper's §4 algorithm).
+    let graph = DependencyGraph::from_analysis(&result.analysis);
+    let importance = ImportanceMap::compute(&graph);
+    println!(
+        "importance range: 1 .. {:.0} (2^{:.1})",
+        importance.max(),
+        importance.max().log2()
+    );
+
+    // 4. Partition by importance into protection levels (pivots, §4.4).
+    let thresholds = [8.0, 128.0, 2048.0];
+    let table = PivotTable::build(&result.analysis, &importance, &thresholds);
+    println!(
+        "pivot table: {} pivots total, {} bits of bookkeeping",
+        table.pivot_count(),
+        table.bookkeeping_bits()
+    );
+
+    // 5. Store on the approximate MLC substrate with variable BCH.
+    let policy = StoragePolicy {
+        ladder_levels: vec![
+            EcScheme::Bch(6),
+            EcScheme::Bch(7),
+            EcScheme::Bch(9),
+            EcScheme::Bch(11),
+        ],
+        thresholds: thresholds.to_vec(),
+        raw_ber: 1e-3,
+        exact_bch: false,
+    };
+    let store = ApproxStore::new(policy);
+    let report = store.report(&result.stream, &table, video.total_pixels() as u64);
+    println!(
+        "storage: {:.4} cells/pixel, {:.2}x denser than SLC, {:.1}% cheaper than uniform BCH-16",
+        report.cells_per_pixel(),
+        report.density_vs_slc(),
+        report.savings_vs_uniform() * 100.0,
+    );
+
+    // 6. Read back (with simulated cell errors) and decode.
+    let mut rng = StdRng::seed_from_u64(7);
+    let loaded = store.store_load(&result.stream, &table, &mut rng);
+    let decoded = decode(&loaded);
+    println!(
+        "after approximate storage: PSNR {:.2} dB (quality change {:+.3} dB)",
+        video_psnr(&video, &decoded),
+        video_psnr(&video, &decoded) - video_psnr(&video, &result.reconstruction),
+    );
+}

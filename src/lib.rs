@@ -1,0 +1,14 @@
+//! Umbrella crate for the VideoApp reproduction suite.
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! use one coherent namespace. See `README.md` for the tour and
+//! `DESIGN.md` for the system inventory.
+
+pub use vapp_codec as codec;
+pub use vapp_crypto as crypto;
+pub use vapp_media as media;
+pub use vapp_metrics as metrics;
+pub use vapp_sim as sim;
+pub use vapp_storage as storage;
+pub use vapp_workloads as workloads;
+pub use videoapp as core;

@@ -1,0 +1,171 @@
+//! Error-containment invariants (paper §3): damage stays within the GOP,
+//! I frames resynchronise, slices bound in-frame propagation.
+
+use vapp_codec::{decode, Encoder, EncoderConfig, FrameType};
+use vapp_metrics::frame_psnr;
+use vapp_workloads::{ClipSpec, SceneKind};
+
+fn clip() -> vapp_media::Video {
+    ClipSpec::new(96, 64, 16, SceneKind::Panning).seed(21).generate()
+}
+
+#[test]
+fn damage_never_crosses_i_frame_boundaries() {
+    let video = clip();
+    let result = Encoder::new(EncoderConfig {
+        keyint: 4,
+        bframes: 0,
+        ..EncoderConfig::default()
+    })
+    .encode(&video);
+
+    // Corrupt the payload of the P frame at display 1 heavily.
+    let mut dirty = result.stream.clone();
+    let target = dirty
+        .frames
+        .iter()
+        .position(|f| f.header.display_index == 1)
+        .expect("frame 1 exists");
+    for b in dirty.frames[target].payload.iter_mut() {
+        *b ^= 0x55;
+    }
+    let decoded = decode(&dirty);
+
+    for (d, (clean, got)) in result
+        .reconstruction
+        .iter()
+        .zip(decoded.iter())
+        .enumerate()
+    {
+        let in_damaged_gop = (1..4).contains(&d);
+        if in_damaged_gop {
+            continue; // may or may not be visibly damaged
+        }
+        assert_eq!(
+            clean, got,
+            "display frame {d} outside the damaged GOP must be bit-exact"
+        );
+    }
+    // The corrupted frame itself must actually be damaged.
+    assert_ne!(result.reconstruction.get(1), decoded.get(1));
+}
+
+#[test]
+fn b_frame_damage_stays_in_that_frame() {
+    let video = clip();
+    let result = Encoder::new(EncoderConfig {
+        keyint: 16,
+        bframes: 2,
+        ..EncoderConfig::default()
+    })
+    .encode(&video);
+
+    // Find a B frame and trash its payload: B frames are unreferenced, so
+    // every other frame must decode bit-exactly.
+    let mut dirty = result.stream.clone();
+    let target = dirty
+        .frames
+        .iter()
+        .position(|f| f.header.frame_type == FrameType::B)
+        .expect("stream has B frames");
+    let display = dirty.frames[target].header.display_index as usize;
+    for b in dirty.frames[target].payload.iter_mut() {
+        *b = b.wrapping_add(0x3C);
+    }
+    let decoded = decode(&dirty);
+    for (d, (clean, got)) in result
+        .reconstruction
+        .iter()
+        .zip(decoded.iter())
+        .enumerate()
+    {
+        if d == display {
+            assert_ne!(clean, got, "the B frame itself must be damaged");
+        } else {
+            assert_eq!(clean, got, "frame {d} must be untouched");
+        }
+    }
+}
+
+#[test]
+fn slices_limit_in_frame_propagation() {
+    let video = clip();
+    // 96x64 → 4 MB rows → 4 slices of one row each.
+    let result = Encoder::new(EncoderConfig {
+        keyint: 16,
+        bframes: 0,
+        slices: 4,
+        ..EncoderConfig::default()
+    })
+    .encode(&video);
+
+    // Corrupt only the *last* slice of the I frame: earlier slices of that
+    // frame must decode cleanly (coding errors cannot travel backwards or
+    // across slice boundaries).
+    let mut dirty = result.stream.clone();
+    let frame = &mut dirty.frames[0];
+    let ranges = frame.slice_ranges();
+    let last = ranges.last().expect("has slices").clone();
+    for b in frame.payload[last].iter_mut() {
+        *b ^= 0xFF;
+    }
+    let decoded = decode(&dirty);
+    let clean0 = result.reconstruction.get(0).expect("frame 0");
+    let got0 = decoded.get(0).expect("frame 0");
+    assert_ne!(clean0, got0, "the damaged slice must show");
+    // Rows 0..3 of MBs = pixel rows 0..48 must be identical, except the
+    // single row the in-loop deblocking filter touches across the slice
+    // boundary (it adjusts p0 at y = 47 from q-side samples — standard
+    // H.264 `disable_deblocking_filter_idc = 0` behaviour).
+    for y in 0..47 {
+        for x in 0..96 {
+            assert_eq!(
+                clean0.plane().get(x, y),
+                got0.plane().get(x, y),
+                "pixel ({x},{y}) in undamaged slices changed"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_flip_damage_grows_toward_frame_start() {
+    // The Fig. 3 effect as an invariant: a flip in the first MB of a P
+    // frame damages at least as much as a flip in the last MB (averaged
+    // over frames to ride out block-content luck).
+    let video = clip();
+    let result = Encoder::new(EncoderConfig {
+        keyint: 16,
+        bframes: 0,
+        ..EncoderConfig::default()
+    })
+    .encode(&video);
+    let error_free = decode(&result.stream);
+    let bases = videoapp::payload_layout(&result.analysis);
+
+    let mut early_total = 0.0;
+    let mut late_total = 0.0;
+    let mut n = 0;
+    for f in result.analysis.frames.iter().filter(|f| f.frame_type == FrameType::P) {
+        let first = &f.mbs[0];
+        let last = f.mbs.iter().rev().find(|m| m.bits() > 0).expect("nonempty frame");
+        for (mb, acc) in [(first, &mut early_total), (last, &mut late_total)] {
+            let mut dirty = result.stream.clone();
+            videoapp::pipeline::flip_global_bits(
+                &mut dirty,
+                &[bases[f.coding_index] + (mb.bit_start + mb.bit_end) / 2],
+            );
+            let decoded = decode(&dirty);
+            *acc += frame_psnr(
+                error_free.get(f.display_index).expect("in range"),
+                decoded.get(f.display_index).expect("in range"),
+            );
+        }
+        n += 1;
+    }
+    assert!(n > 3, "need several P frames");
+    assert!(
+        early_total / n as f64 <= late_total / n as f64,
+        "early-MB flips must hurt at least as much: early {early_total} vs late {late_total}"
+    );
+}

@@ -1,0 +1,106 @@
+//! The §7.1 methodology validation as an automated invariant: bins of
+//! higher computed importance must suffer more measured damage.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vapp_codec::{decode, Encoder, EncoderConfig};
+use vapp_metrics::video_psnr;
+use vapp_workloads::{ClipSpec, SceneKind};
+use videoapp::pipeline::flip_global_bits;
+use videoapp::{equal_storage_bins, DependencyGraph, ImportanceMap};
+
+#[test]
+fn importance_bins_predict_measured_damage_order() {
+    let video = ClipSpec::new(96, 64, 16, SceneKind::MovingBlocks)
+        .seed(2024)
+        .generate();
+    let result = Encoder::new(EncoderConfig {
+        keyint: 8,
+        bframes: 2,
+        ..EncoderConfig::default()
+    })
+    .encode(&video);
+    let imp = ImportanceMap::compute(&DependencyGraph::from_analysis(&result.analysis));
+    let bins = equal_storage_bins(&result.analysis, &imp, 4);
+    let error_free = decode(&result.stream);
+
+    // Inject the same error rate into each bin (several trials, mean
+    // loss) and check rank agreement between bin order and damage order.
+    let rate = 2e-3;
+    let mut losses = Vec::new();
+    for b in &bins {
+        let mut total = 0.0;
+        let trials = 6;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(900 + t);
+            let flips = vapp_sim::pick_positions(&b.ranges, rate, &mut rng);
+            let mut dirty = result.stream.clone();
+            flip_global_bits(&mut dirty, &flips);
+            total += video_psnr(&error_free, &decode(&dirty));
+        }
+        losses.push(total / trials as f64);
+    }
+    // PSNR must (weakly) decrease from bin 0 to bin 3: count inversions.
+    let inversions = losses
+        .windows(2)
+        .filter(|w| w[1] > w[0] + 1.0) // allow 1 dB of noise
+        .count();
+    assert_eq!(
+        inversions, 0,
+        "bin damage order contradicts importance: {losses:?}"
+    );
+    // And the extremes must be clearly separated.
+    assert!(
+        losses[0] > losses[3] + 3.0,
+        "least vs most important bins not separated: {losses:?}"
+    );
+}
+
+#[test]
+fn importance_correlates_with_single_flip_damage() {
+    // Per-MB check on one P frame: flip one bit in a high-importance MB
+    // and in a low-importance MB; the former must do at least as much
+    // damage to the whole video.
+    let video = ClipSpec::new(96, 64, 12, SceneKind::Panning).seed(7).generate();
+    let result = Encoder::new(EncoderConfig {
+        keyint: 12,
+        bframes: 0,
+        ..EncoderConfig::default()
+    })
+    .encode(&video);
+    let imp = ImportanceMap::compute(&DependencyGraph::from_analysis(&result.analysis));
+    let error_free = decode(&result.stream);
+    let bases = videoapp::payload_layout(&result.analysis);
+
+    // Average over several P frames and several flip positions per MB —
+    // a single flip's damage is noisy (it depends on which syntax element
+    // it lands in), but the means must respect the importance order.
+    let mut first_total = 0.0;
+    let mut last_total = 0.0;
+    let mut n = 0;
+    for fi in 1..result.analysis.frames.len() {
+        let f = &result.analysis.frames[fi];
+        let psnr_for = |mb: usize| {
+            let a = &f.mbs[mb];
+            let span = a.bit_end.saturating_sub(a.bit_start).max(1);
+            let mut total = 0.0;
+            for k in 1..=3u64 {
+                let mut dirty = result.stream.clone();
+                let pos = bases[fi] + a.bit_start + span * k / 4;
+                flip_global_bits(&mut dirty, &[pos]);
+                total += video_psnr(&error_free, &decode(&dirty));
+            }
+            total / 3.0
+        };
+        first_total += psnr_for(0);
+        last_total += psnr_for(f.mbs.len() - 1);
+        assert!(imp.get(fi, 0) > imp.get(fi, f.mbs.len() - 1));
+        n += 1;
+    }
+    let first = first_total / n as f64;
+    let last = last_total / n as f64;
+    assert!(
+        first <= last + 1.0,
+        "high-importance flips must hurt at least as much on average: {first} vs {last}"
+    );
+}
