@@ -1,11 +1,14 @@
 //! VideoApp analysis cost: graph construction, importance (global and
 //! streaming), bins/classes/pivots — the §4.3.1 overhead claim.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vapp_bench::harness::Criterion;
+use vapp_bench::{criterion_group, criterion_main};
 use vapp_codec::{Encoder, EncoderConfig};
 use vapp_workloads::{ClipSpec, SceneKind};
-use videoapp::{equal_storage_bins, importance_classes, DependencyGraph, ImportanceMap, PivotTable};
+use videoapp::{
+    equal_storage_bins, importance_classes, DependencyGraph, ImportanceMap, PivotTable,
+};
 
 fn bench_analysis(c: &mut Criterion) {
     let video = ClipSpec::new(112, 64, 24, SceneKind::MovingBlocks)

@@ -1,7 +1,8 @@
 //! Codec throughput: encode and decode, CABAC vs CAVLC.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vapp_bench::harness::Criterion;
+use vapp_bench::{criterion_group, criterion_main};
 use vapp_codec::{decode, Encoder, EncoderConfig, EntropyMode};
 use vapp_workloads::{ClipSpec, SceneKind};
 

@@ -1,7 +1,8 @@
 //! AES mode throughput over video-sized buffers.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use vapp_bench::harness::{Criterion, Throughput};
+use vapp_bench::{criterion_group, criterion_main};
 use vapp_crypto::CipherMode;
 
 fn bench_crypto(c: &mut Criterion) {

@@ -1,15 +1,15 @@
 //! End-to-end pipeline: split/merge streams and full store/load rounds
 //! with the analytic and exact BCH block simulators.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
+use vapp_bench::harness::Criterion;
+use vapp_bench::{criterion_group, criterion_main};
 use vapp_codec::{Encoder, EncoderConfig};
+use vapp_rand::rngs::StdRng;
+use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
 use videoapp::{
-    split_streams, ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable,
-    StoragePolicy,
+    split_streams, ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy,
 };
 
 fn bench_pipeline(c: &mut Criterion) {

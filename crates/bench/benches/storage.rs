@@ -1,8 +1,9 @@
 //! Storage-substrate throughput: BCH encode/decode per 512-bit block and
 //! MLC model queries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vapp_bench::harness::Criterion;
+use vapp_bench::{criterion_group, criterion_main};
 use vapp_storage::bch::{Bch, DATA_BITS};
 use vapp_storage::bits::BitBuf;
 use vapp_storage::mlc::{MlcConfig, MlcSubstrate};

@@ -12,7 +12,14 @@ fn main() {
 
     let widths = [16usize, 12, 12, 10, 14, 14];
     print_header(
-        &["clip", "encode s", "analysis s", "time %", "graph bytes", "raw bytes"],
+        &[
+            "clip",
+            "encode s",
+            "analysis s",
+            "time %",
+            "graph bytes",
+            "raw bytes",
+        ],
         &widths,
     );
     for p in &prepared {

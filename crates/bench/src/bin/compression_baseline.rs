@@ -11,7 +11,10 @@ fn main() {
     let cfg = ExpConfig::from_env();
     println!("== Compression baseline: dB lost per % of storage saved ==\n");
     let widths = [10usize, 12, 14, 14];
-    print_header(&["CRF step", "bits saved %", "PSNR loss dB", "dB per 10%"], &widths);
+    print_header(
+        &["CRF step", "bits saved %", "PSNR loss dB", "dB per 10%"],
+        &widths,
+    );
 
     let base = prepare(&cfg, 24);
     for &delta in &[1u8, 2, 3] {

@@ -13,7 +13,14 @@ fn main() {
 
     let widths = [6usize, 14, 12, 13, 13, 12];
     print_header(
-        &["mode", "flip damage", "unreadable", "contained", "transparent", "compatible"],
+        &[
+            "mode",
+            "flip damage",
+            "unreadable",
+            "contained",
+            "transparent",
+            "compatible",
+        ],
         &widths,
     );
     for mode in CipherMode::ALL {
@@ -45,5 +52,9 @@ fn main() {
 }
 
 fn yes_no(v: bool) -> String {
-    if v { "yes".into() } else { "no".into() }
+    if v {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }

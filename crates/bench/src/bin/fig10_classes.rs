@@ -63,8 +63,9 @@ fn main() {
     }
 
     println!("(a) cumulative worst quality change (dB); class i = importance <= 2^i:");
-    let widths: Vec<usize> =
-        std::iter::once(9).chain(std::iter::repeat_n(8, all_exps.len())).collect();
+    let widths: Vec<usize> = std::iter::once(9)
+        .chain(std::iter::repeat_n(8, all_exps.len()))
+        .collect();
     let class_names: Vec<String> = all_exps.iter().map(|e| format!("<=2^{e}")).collect();
     let header: Vec<&str> = std::iter::once("rate")
         .chain(class_names.iter().map(|s| s.as_str()))
@@ -85,7 +86,10 @@ fn main() {
         print_row(
             &[
                 format!("<=2^{exp}"),
-                format!("{:.1}", 100.0 * cum_storage[ei] as f64 / total_storage as f64),
+                format!(
+                    "{:.1}",
+                    100.0 * cum_storage[ei] as f64 / total_storage as f64
+                ),
             ],
             &widths2,
         );

@@ -9,10 +9,10 @@
 //! comparison and the §7.3 headline numbers (47% EC overhead cut,
 //! 2.57x vs SLC, 12.5% vs uniform MLC, <0.3 dB loss).
 
-use rand::SeedableRng;
 use vapp_bench::{pooled_assignment, prepare, print_header, print_row, rate_sweep, ExpConfig};
 use vapp_codec::decode;
 use vapp_metrics::video_psnr;
+use vapp_rand::SeedableRng;
 use vapp_sim::Trials;
 use videoapp::{ApproxStore, PivotTable, StoragePolicy, QUALITY_BUDGET_DB};
 
@@ -23,9 +23,7 @@ fn main() {
     let rates = rate_sweep(12, 2);
     let widths = [6usize, 10, 13, 11, 13, 11, 13, 11];
     print_header(
-        &[
-            "CRF", "design", "", "uniform", "", "variable", "", "ideal",
-        ],
+        &["CRF", "design", "", "uniform", "", "variable", "", "ideal"],
         &widths,
     );
     print_header(
@@ -52,18 +50,13 @@ fn main() {
         for (ci, p) in prepared.iter().enumerate() {
             let table = PivotTable::build(&p.result.analysis, &p.importance, &policy.thresholds);
             let store = ApproxStore::new(policy.clone());
-            let report = store.report(
-                &p.result.stream,
-                &table,
-                p.original.total_pixels() as u64,
-            );
+            let report = store.report(&p.result.stream, &table, p.original.total_pixels() as u64);
             let base_psnr = video_psnr(&p.original, &p.result.reconstruction);
 
             // Variable correction: simulate the store and decode.
             let mut variable_psnr = f64::MAX;
             for t in 0..cfg.trials {
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(5000 + (ci * 97 + t) as u64);
+                let mut rng = vapp_rand::rngs::StdRng::seed_from_u64(5000 + (ci * 97 + t) as u64);
                 let loaded = store.store_load(&p.result.stream, &table, &mut rng);
                 let decoded = decode(&loaded);
                 variable_psnr = variable_psnr.min(video_psnr(&p.original, &decoded));

@@ -57,7 +57,9 @@ fn main() {
         }
     }
 
-    let widths: Vec<usize> = std::iter::once(5).chain(std::iter::repeat_n(7, cols)).collect();
+    let widths: Vec<usize> = std::iter::once(5)
+        .chain(std::iter::repeat_n(7, cols))
+        .collect();
     let header: Vec<&str> = std::iter::once("y\\x")
         .chain((0..cols).map(|_| "PSNR"))
         .collect();

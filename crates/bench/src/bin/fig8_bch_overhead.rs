@@ -10,7 +10,13 @@ fn main() {
     println!("(512-bit blocks, raw BER 1e-3; self-correcting codes)\n");
     let widths = [8, 12, 14, 22, 18];
     print_header(
-        &["code", "parity", "overhead %", "uncorrectable rate", "paper (approx)"],
+        &[
+            "code",
+            "parity",
+            "overhead %",
+            "uncorrectable rate",
+            "paper (approx)",
+        ],
         &widths,
     );
     for (t, paper) in [

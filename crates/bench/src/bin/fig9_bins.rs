@@ -43,7 +43,9 @@ fn main() {
     }
 
     // (a) loss table: rows = rates, columns = bins.
-    let widths: Vec<usize> = std::iter::once(9).chain(std::iter::repeat_n(7, BINS)).collect();
+    let widths: Vec<usize> = std::iter::once(9)
+        .chain(std::iter::repeat_n(7, BINS))
+        .collect();
     let bin_names: Vec<String> = (0..BINS).map(|b| format!("bin{b}")).collect();
     let header: Vec<&str> = std::iter::once("rate")
         .chain(bin_names.iter().map(|s| s.as_str()))
@@ -63,7 +65,10 @@ fn main() {
     let widths2 = [6usize, 16];
     print_header(&["bin", "log2(max imp)"], &widths2);
     for (b, &mi) in max_importance.iter().enumerate() {
-        print_row(&[format!("{b}"), format!("{:.1}", mi.max(1.0).log2())], &widths2);
+        print_row(
+            &[format!("{b}"), format!("{:.1}", mi.max(1.0).log2())],
+            &widths2,
+        );
     }
 
     // Validation: curve order follows bin order at the highest rate.

@@ -4,11 +4,11 @@
 //! experiment injects flips at increasing rates and shows all four
 //! metrics degrading monotonically, and in agreement.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vapp_bench::{prepare, print_header, print_row, ExpConfig};
 use vapp_codec::decode;
 use vapp_metrics::{video_ms_ssim, video_psnr, video_ssim, video_vifp};
+use vapp_rand::rngs::StdRng;
+use vapp_rand::SeedableRng;
 use videoapp::pipeline::flip_global_bits;
 
 fn main() {
@@ -54,6 +54,10 @@ fn main() {
     }
     println!(
         "\nall four metrics degrade together: {}",
-        if monotone { "yes" } else { "mostly (small inversions)" }
+        if monotone {
+            "yes"
+        } else {
+            "mostly (small inversions)"
+        }
     );
 }

@@ -5,10 +5,10 @@
 //! 3. B-frame count (unreferenced frames cannot propagate errors).
 
 use vapp_bench::{prepare_with, print_header, print_row, rate_sweep, ExpConfig};
-use vapp_sim::Trials;
-use videoapp::pipeline::measure_loss_curve;
-use videoapp::payload_layout;
 use vapp_codec::EntropyMode;
+use vapp_sim::Trials;
+use videoapp::payload_layout;
+use videoapp::pipeline::measure_loss_curve;
 
 fn main() {
     let cfg = ExpConfig::from_env();
@@ -18,7 +18,10 @@ fn main() {
     // --- 1. slices ---
     println!("(1) slices per frame: loss at selected rates + storage cost");
     let widths = [8usize, 12, 12, 12, 12];
-    print_header(&["slices", "bits/px", "@1e-6 dB", "@1e-5 dB", "@1e-4 dB"], &widths);
+    print_header(
+        &["slices", "bits/px", "@1e-6 dB", "@1e-5 dB", "@1e-4 dB"],
+        &widths,
+    );
     for &slices in &[1u8, 2, 4] {
         let mut enc = cfg.encoder(24);
         enc.slices = slices;
@@ -38,7 +41,10 @@ fn main() {
 
     // --- 2. entropy coder ---
     println!("(2) entropy coder: CABAC vs CAVLC");
-    print_header(&["coder", "bits/px", "@1e-6 dB", "@1e-5 dB", "@1e-4 dB"], &widths);
+    print_header(
+        &["coder", "bits/px", "@1e-6 dB", "@1e-5 dB", "@1e-4 dB"],
+        &widths,
+    );
     for entropy in [EntropyMode::Cabac, EntropyMode::Cavlc] {
         let mut enc = cfg.encoder(24);
         enc.entropy = entropy;
@@ -94,7 +100,10 @@ fn main() {
     // --- 4. approximability-aware encoding (the paper's open question) ---
     println!("(4) approximability-aware mode decision (skip/intra bias):");
     let widths4 = [10usize, 12, 12, 12, 18];
-    print_header(&["mode", "bits/px", "PSNR dB", "skip %", "low-imp bits %"], &widths4);
+    print_header(
+        &["mode", "bits/px", "PSNR dB", "skip %", "low-imp bits %"],
+        &widths4,
+    );
     for &bias in &[false, true] {
         let mut enc = cfg.encoder(24);
         enc.approx_bias = bias;
@@ -110,12 +119,11 @@ fn main() {
                 mbs += f.mbs.len();
             }
             skip += 100.0 * skipped as f64 / mbs as f64;
-            let low_bits: u64 =
-                videoapp::classes::mb_bit_ranges(&p.result.analysis, &p.importance)
-                    .into_iter()
-                    .filter(|(imp, _)| *imp <= 16.0)
-                    .map(|(_, r)| r.end - r.start)
-                    .sum();
+            let low_bits: u64 = videoapp::classes::mb_bit_ranges(&p.result.analysis, &p.importance)
+                .into_iter()
+                .filter(|(imp, _)| *imp <= 16.0)
+                .map(|(_, r)| r.end - r.start)
+                .sum();
             low += 100.0 * low_bits as f64 / total as f64;
         }
         let n = prepared.len() as f64;
@@ -141,11 +149,7 @@ fn main() {
 
 /// Encodes the suite with `enc` and measures whole-payload loss at the
 /// first three rates of `rates`. Returns (bits/pixel, losses).
-fn sweep(
-    cfg: &ExpConfig,
-    enc: vapp_codec::EncoderConfig,
-    rates: &[f64],
-) -> (f64, [f64; 3]) {
+fn sweep(cfg: &ExpConfig, enc: vapp_codec::EncoderConfig, rates: &[f64]) -> (f64, [f64; 3]) {
     let prepared = prepare_with(cfg, enc);
     let mut bpp = 0.0;
     let mut losses = [0.0f64; 3];

@@ -3,9 +3,9 @@
 //! the effect of drift-biased level placement (Guo et al.'s non-uniform
 //! partitioning), and physical validation via a Gray-coded cell array.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vapp_bench::{print_header, print_row};
+use vapp_rand::rngs::StdRng;
+use vapp_rand::SeedableRng;
 use vapp_storage::array::CellArray;
 use vapp_storage::bits::BitBuf;
 use vapp_storage::mlc::{MlcConfig, MlcSubstrate, DEFAULT_SCRUB_DAYS, TARGET_RAW_BER};
@@ -68,7 +68,10 @@ fn main() {
         measured,
         tuned.raw_ber(DEFAULT_SCRUB_DAYS)
     );
-    assert!((measured.log10() - (-3.0)).abs() < 0.5, "calibration drifted");
+    assert!(
+        (measured.log10() - (-3.0)).abs() < 0.5,
+        "calibration drifted"
+    );
 
     println!("\n(c) level placement (write targets, normalised resistance):");
     let centers: Vec<String> = tuned.centers().iter().map(|c| format!("{c:.3}")).collect();

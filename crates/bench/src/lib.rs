@@ -1,11 +1,13 @@
 //! Shared machinery for the experiment regenerators (one binary per paper
-//! figure/table — see `DESIGN.md` §5) and the criterion benches.
+//! figure/table — see `DESIGN.md` §5) and the [`harness`]-driven benches.
 //!
 //! Every binary honours the `VAPP_SCALE` environment variable:
 //!
 //! * `small` (default) — minutes-scale runs: reduced resolution, frame
 //!   counts and trial counts. Shapes hold; absolute values are noisier.
 //! * `full`  — closer to the paper's methodology (more frames, 30 trials).
+
+pub mod harness;
 
 use std::time::Instant;
 use vapp_codec::{EncodeResult, Encoder, EncoderConfig};
@@ -146,11 +148,7 @@ pub fn print_header(cells: &[&str], widths: &[usize]) {
 
 /// Measures the cumulative loss curve of every importance class of one
 /// clip (the Fig. 10 machinery shared by Table 1 and Fig. 11).
-pub fn class_curves(
-    p: &PreparedClip,
-    rates: &[f64],
-    trials: Trials,
-) -> Vec<(u32, u64, LossCurve)> {
+pub fn class_curves(p: &PreparedClip, rates: &[f64], trials: Trials) -> Vec<(u32, u64, LossCurve)> {
     let classes = importance_classes(&p.result.analysis, &p.importance);
     let mut out = Vec::with_capacity(classes.len());
     for (i, c) in classes.iter().enumerate() {
@@ -180,7 +178,9 @@ pub fn pooled_assignment(
     for p in prepared {
         for (exp, bits, curve) in class_curves(p, rates, trials) {
             *bits_by_exp.entry(exp).or_insert(0) += bits;
-            let entry = loss_by_exp.entry(exp).or_insert_with(|| vec![0.0; rates.len()]);
+            let entry = loss_by_exp
+                .entry(exp)
+                .or_insert_with(|| vec![0.0; rates.len()]);
             for (ri, &r) in rates.iter().enumerate() {
                 entry[ri] = entry[ri].min(curve.loss_at(r));
             }

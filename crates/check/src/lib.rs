@@ -1,0 +1,203 @@
+//! A lightweight, zero-dependency property-test harness: seeded case
+//! generation with shrink-free failure reporting, driven by
+//! [`vapp_rand`].
+//!
+//! This replaces `proptest` for the repo's needs. Design choices:
+//!
+//! * **Deterministic by construction.** The base seed is derived from
+//!   the property name (FNV-1a), so every property sees the same case
+//!   stream in every run, on every machine. There is no time- or
+//!   entropy-derived seeding anywhere.
+//! * **No shrinking.** Cases are generated directly from an RNG, so a
+//!   failure is reported as the exact per-case seed that reproduces it.
+//!   Re-running one case is cheaper and more faithful than a shrinker:
+//!   set `VAPP_CHECK_SEED` to the reported value.
+//! * **Env knobs.** `VAPP_CHECK_CASES` multiplies every property's case
+//!   count (e.g. `VAPP_CHECK_CASES=10` for a tier-2-style soak);
+//!   `VAPP_CHECK_SEED=<hex-or-dec>` replays exactly one case.
+//!
+//! ```
+//! use vapp_check::{check, RngExt};
+//!
+//! check("addition_commutes", 64, |rng| {
+//!     let a: u32 = rng.random();
+//!     let b: u32 = rng.random();
+//!     assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//! });
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub use vapp_rand::rngs::StdRng;
+pub use vapp_rand::{Random, RngCore, RngExt, SampleRange, SampleUniform, SeedableRng};
+
+/// FNV-1a over the property name: a stable, platform-independent base
+/// seed so each property owns a distinct but reproducible case stream.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64-style mix of base seed and case index into a per-case seed.
+fn case_seed(base: u64, case: usize) -> u64 {
+    let mut z = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn parse_env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{var}={raw} is not a u64"),
+    }
+}
+
+/// Runs a property over `cases` seeded random cases.
+///
+/// Each case receives a fresh [`StdRng`] derived from the property name
+/// and case index. On failure the panic is re-raised with the property
+/// name, case number, and the `VAPP_CHECK_SEED` value that replays just
+/// that case.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing test) if any case's closure panics.
+pub fn check(name: &str, cases: usize, f: impl Fn(&mut StdRng)) {
+    let base = fnv1a(name);
+    if let Some(seed) = parse_env_u64("VAPP_CHECK_SEED") {
+        // Replay mode: exactly one case with the reported seed.
+        f(&mut StdRng::seed_from_u64(seed));
+        return;
+    }
+    let multiplier = parse_env_u64("VAPP_CHECK_CASES").unwrap_or(1) as usize;
+    let total = cases.saturating_mul(multiplier.max(1)).max(1);
+    for case in 0..total {
+        let seed = case_seed(base, case);
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut StdRng::seed_from_u64(seed))));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            panic!(
+                "property `{name}` failed at case {case}/{total}:\n  {msg}\n\
+                 replay just this case with: VAPP_CHECK_SEED={seed:#x} cargo test {name}"
+            );
+        }
+    }
+}
+
+/// Generator helpers for shapes `RngExt` does not cover directly.
+pub mod gen {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// A `Vec` with a length drawn from `len` and elements from `item`.
+    pub fn vec_of<T>(
+        rng: &mut StdRng,
+        len: Range<usize>,
+        mut item: impl FnMut(&mut StdRng) -> T,
+    ) -> Vec<T> {
+        let n = if len.start == len.end {
+            len.start
+        } else {
+            rng.random_range(len)
+        };
+        (0..n).map(|_| item(rng)).collect()
+    }
+
+    /// Random bytes with a length drawn from `len`.
+    pub fn bytes(rng: &mut StdRng, len: Range<usize>) -> Vec<u8> {
+        vec_of(rng, len, |r| r.random())
+    }
+
+    /// A set of up to `count` distinct values from `universe` (fewer if
+    /// the universe is smaller than the requested count).
+    pub fn distinct(rng: &mut StdRng, universe: Range<usize>, count: usize) -> BTreeSet<usize> {
+        let size = universe.end.saturating_sub(universe.start);
+        let target = count.min(size);
+        let mut out = BTreeSet::new();
+        while out.len() < target {
+            out.insert(rng.random_range(universe.clone()));
+        }
+        out
+    }
+
+    /// An index into a collection of length `len` (`proptest`'s
+    /// `sample::Index` equivalent).
+    pub fn index(rng: &mut StdRng, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        rng.random_range(0..len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0usize;
+        let counter = std::cell::Cell::new(0usize);
+        check("counts_cases", 32, |_rng| {
+            counter.set(counter.get() + 1);
+        });
+        count += counter.get();
+        assert_eq!(count, 32);
+    }
+
+    #[test]
+    fn failing_property_reports_name_case_and_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("always_fails", 8, |rng| {
+                let v: u64 = rng.random();
+                assert!(v == 0 && v == 1, "impossible");
+            });
+        }));
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("string panic message");
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("case 0/8"), "{msg}");
+        assert!(msg.contains("VAPP_CHECK_SEED=0x"), "{msg}");
+    }
+
+    #[test]
+    fn case_streams_are_deterministic_and_distinct() {
+        let collect = |name: &str| {
+            let out = std::cell::RefCell::new(Vec::new());
+            check(name, 8, |rng| out.borrow_mut().push(rng.random::<u64>()));
+            out.into_inner()
+        };
+        assert_eq!(collect("stream_a"), collect("stream_a"));
+        assert_ne!(collect("stream_a"), collect("stream_b"));
+    }
+
+    #[test]
+    fn gen_helpers_respect_bounds() {
+        check("gen_bounds", 64, |rng| {
+            let v = gen::bytes(rng, 0..100);
+            assert!(v.len() < 100);
+            let s = gen::distinct(rng, 10..20, 25);
+            assert_eq!(s.len(), 10);
+            assert!(s.iter().all(|&x| (10..20).contains(&x)));
+            let i = gen::index(rng, 7);
+            assert!(i < 7);
+        });
+    }
+}

@@ -154,7 +154,10 @@ mod tests {
         let parsed = EncodedVideo::from_bytes(&bytes).unwrap();
         assert_eq!(parsed, stream);
         // And it still decodes identically.
-        assert_eq!(crate::decoder::decode(&parsed), crate::decoder::decode(&stream));
+        assert_eq!(
+            crate::decoder::decode(&parsed),
+            crate::decoder::decode(&stream)
+        );
     }
 
     #[test]

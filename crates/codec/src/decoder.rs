@@ -46,14 +46,16 @@ pub fn decode(stream: &EncodedVideo) -> Video {
 
     for f in &stream.frames {
         let ci = f.header.coding_index as usize;
-        let ref_fwd = f
-            .header
-            .ref_fwd
-            .map(|r| dpb[r as usize].as_ref().expect("forward reference coded before use"));
-        let ref_bwd = f
-            .header
-            .ref_bwd
-            .map(|r| dpb[r as usize].as_ref().expect("backward reference coded before use"));
+        let ref_fwd = f.header.ref_fwd.map(|r| {
+            dpb[r as usize]
+                .as_ref()
+                .expect("forward reference coded before use")
+        });
+        let ref_bwd = f.header.ref_bwd.map(|r| {
+            dpb[r as usize]
+                .as_ref()
+                .expect("backward reference coded before use")
+        });
         let mut recon = decode_frame(stream, f, &grid, ref_fwd, ref_bwd);
         if stream.header.deblock {
             crate::deblock::deblock_plane(&mut recon, f.header.qp.min(crate::quant::MAX_QP));
@@ -102,15 +104,33 @@ fn decode_frame(
             EntropyMode::Cabac => {
                 let mut r = CabacReader::new(bytes);
                 decode_slice(
-                    &mut r, grid, frame, ref_fwd, ref_bwd, &mut recon, &mut states, row_start,
-                    row_end, base_qp, subpel,
+                    &mut r,
+                    grid,
+                    frame,
+                    ref_fwd,
+                    ref_bwd,
+                    &mut recon,
+                    &mut states,
+                    row_start,
+                    row_end,
+                    base_qp,
+                    subpel,
                 );
             }
             EntropyMode::Cavlc => {
                 let mut r = CavlcReader::new(bytes);
                 decode_slice(
-                    &mut r, grid, frame, ref_fwd, ref_bwd, &mut recon, &mut states, row_start,
-                    row_end, base_qp, subpel,
+                    &mut r,
+                    grid,
+                    frame,
+                    ref_fwd,
+                    ref_bwd,
+                    &mut recon,
+                    &mut states,
+                    row_start,
+                    row_end,
+                    base_qp,
+                    subpel,
                 );
             }
         }
@@ -137,7 +157,16 @@ fn decode_slice<R: SymbolReader>(
         for col in 0..grid.mb_cols() {
             let mb = grid.mb_index(col, row);
             decode_mb(
-                r, grid, frame, ref_fwd, ref_bwd, recon, states, mb, row_start, &mut prev_qp,
+                r,
+                grid,
+                frame,
+                ref_fwd,
+                ref_bwd,
+                recon,
+                states,
+                mb,
+                row_start,
+                &mut prev_qp,
                 subpel,
             );
         }
@@ -282,7 +311,9 @@ fn decode_mb<R: SymbolReader>(
             // (corrupt direction in a frame without that reference).
             let block_pred = match (dir, ref_fwd, ref_bwd) {
                 (PredDir::Forward, Some(rf), _) => mc_block_sub(rf, bx, by, g.w, g.h, mv_f, subpel),
-                (PredDir::Backward, _, Some(rb)) => mc_block_sub(rb, bx, by, g.w, g.h, mv_b, subpel),
+                (PredDir::Backward, _, Some(rb)) => {
+                    mc_block_sub(rb, bx, by, g.w, g.h, mv_b, subpel)
+                }
                 (PredDir::Bi, Some(rf), Some(rb)) => bi_average(
                     &mc_block_sub(rf, bx, by, g.w, g.h, mv_f, subpel),
                     &mc_block_sub(rb, bx, by, g.w, g.h, mv_b, subpel),
@@ -300,7 +331,9 @@ fn decode_mb<R: SymbolReader>(
     }
 
     // --- qp delta, cbp, residual ---
-    let delta = r.get_sint(Element::QpDelta, 0).clamp(-(MAX_QP as i32), MAX_QP as i32);
+    let delta = r
+        .get_sint(Element::QpDelta, 0)
+        .clamp(-(MAX_QP as i32), MAX_QP as i32);
     let qp = (*prev_qp as i32 + delta).clamp(0, MAX_QP as i32) as u8;
     *prev_qp = qp;
 
@@ -310,8 +343,8 @@ fn decode_mb<R: SymbolReader>(
     for (q, c) in cbp.iter_mut().enumerate() {
         *c = r.get_flag(Element::Cbp, q);
     }
-    for q in 0..4 {
-        if !cbp[q] {
+    for (q, &quadrant_coded) in cbp.iter().enumerate() {
+        if !quadrant_coded {
             continue;
         }
         for (s, &blk) in quadrant_blocks(q).iter().enumerate() {
@@ -353,7 +386,9 @@ fn decode_intra4_mb<R: SymbolReader>(
     prev_qp: &mut u8,
 ) {
     use crate::quant::{dequantize, MAX_QP as MAXQ};
-    let delta = r.get_sint(Element::QpDelta, 0).clamp(-(MAXQ as i32), MAXQ as i32);
+    let delta = r
+        .get_sint(Element::QpDelta, 0)
+        .clamp(-(MAXQ as i32), MAXQ as i32);
     let qp = (*prev_qp as i32 + delta).clamp(0, MAXQ as i32) as u8;
     *prev_qp = qp;
 
@@ -389,12 +424,12 @@ fn clamp_mv(v: i32) -> i16 {
 /// Mirror of the encoder's `code_block_coeffs`.
 fn decode_block_coeffs<R: SymbolReader>(r: &mut R) -> Block4x4 {
     let mut zz: Block4x4 = [0; 16];
-    for i in 0..16 {
+    for (i, z) in zz.iter_mut().enumerate() {
         let sig = r.get_flag(Element::Sig, i.min(14));
         if sig {
             let mag = r.get_uint(Element::Level, usize::from(i != 0)).min(1 << 15) + 1;
             let neg = r.get_sign();
-            zz[i] = if neg { -(mag as i32) } else { mag as i32 };
+            *z = if neg { -(mag as i32) } else { mag as i32 };
             let last = r.get_flag(Element::Last, i.min(14));
             if last {
                 break;

@@ -25,9 +25,7 @@
 //! ```
 
 use crate::analysis::{AnalysisRecord, Dependency, FrameAnalysis, MbAnalysis};
-use crate::entropy::{
-    CabacWriter, CavlcWriter, Element, EntropyMode, SymbolWriter,
-};
+use crate::entropy::{CabacWriter, CavlcWriter, Element, EntropyMode, SymbolWriter};
 use crate::inter::{bi_average, mc_block_sub, ref_rect, sad_against, search_sub};
 use crate::intra::{intra_sources, predict_intra16, predict_intra4, Intra4Avail, IntraAvail};
 use crate::quant::{dequantize, quantize, to_zigzag, MAX_QP};
@@ -148,7 +146,11 @@ impl Encoder {
     /// Panics if `video` is empty.
     pub fn encode(&self, video: &Video) -> EncodeResult {
         assert!(!video.is_empty(), "cannot encode an empty video");
-        let plans = plan_gop(video.len(), self.cfg.keyint as usize, self.cfg.bframes as usize);
+        let plans = plan_gop(
+            video.len(),
+            self.cfg.keyint as usize,
+            self.cfg.bframes as usize,
+        );
         let grid = MbGrid::for_frame(video.width(), video.height());
         let padded: Vec<Plane> = video.iter().map(|f| pad_to_mb(f.plane())).collect();
 
@@ -159,8 +161,12 @@ impl Encoder {
 
         for plan in &plans {
             let cur = &padded[plan.display];
-            let ref_fwd = plan.ref_fwd.map(|ci| dpb[ci].as_ref().expect("fwd ref coded"));
-            let ref_bwd = plan.ref_bwd.map(|ci| dpb[ci].as_ref().expect("bwd ref coded"));
+            let ref_fwd = plan
+                .ref_fwd
+                .map(|ci| dpb[ci].as_ref().expect("fwd ref coded"));
+            let ref_bwd = plan
+                .ref_bwd
+                .map(|ci| dpb[ci].as_ref().expect("bwd ref coded"));
             let fctx = FrameCtx {
                 cfg: &self.cfg,
                 grid: &grid,
@@ -184,7 +190,10 @@ impl Encoder {
             };
             let mut recon_frame = out.recon;
             if self.cfg.deblock {
-                crate::deblock::deblock_plane(&mut recon_frame, frame_qp(&self.cfg, plan.frame_type));
+                crate::deblock::deblock_plane(
+                    &mut recon_frame,
+                    frame_qp(&self.cfg, plan.frame_type),
+                );
             }
             let mut analysis = out.analysis;
             analysis.coding_index = plan.coding;
@@ -226,7 +235,10 @@ impl Encoder {
                 frames: analyses,
             },
             reconstruction: Video::from_frames(
-                recon_display.into_iter().map(|f| f.expect("all frames coded")).collect(),
+                recon_display
+                    .into_iter()
+                    .map(|f| f.expect("all frames coded"))
+                    .collect(),
                 video.fps(),
             ),
         }
@@ -288,7 +300,11 @@ pub(crate) fn plan_gop(n: usize, keyint: usize, bframes: usize) -> Vec<FramePlan
         if next_key <= next {
             next = next_key;
         }
-        let ftype = if next % keyint == 0 { FrameType::I } else { FrameType::P };
+        let ftype = if next.is_multiple_of(keyint) {
+            FrameType::I
+        } else {
+            FrameType::P
+        };
         let anchor_ci = coding;
         plans.push(FramePlan {
             coding,
@@ -374,8 +390,8 @@ pub(crate) fn neighbors(grid: &MbGrid, mb: usize, slice_top_row: usize) -> Neigh
     let (col, row) = grid.mb_position(mb);
     let left = (col > 0).then(|| grid.mb_index(col - 1, row));
     let above = (row > slice_top_row).then(|| grid.mb_index(col, row - 1));
-    let above_right = (row > slice_top_row && col + 1 < grid.mb_cols())
-        .then(|| grid.mb_index(col + 1, row - 1));
+    let above_right =
+        (row > slice_top_row && col + 1 < grid.mb_cols()).then(|| grid.mb_index(col + 1, row - 1));
     Neighbors {
         left,
         above,
@@ -385,9 +401,7 @@ pub(crate) fn neighbors(grid: &MbGrid, mb: usize, slice_top_row: usize) -> Neigh
 
 /// Context increment helpers shared with the decoder.
 pub(crate) fn skip_ctx_inc(states: &[MbState], nb: &Neighbors) -> usize {
-    let count = |i: Option<usize>| {
-        i.map_or(0, |i| (states[i].coded && !states[i].skip) as usize)
-    };
+    let count = |i: Option<usize>| i.map_or(0, |i| (states[i].coded && !states[i].skip) as usize);
     count(nb.left) + count(nb.above)
 }
 
@@ -569,8 +583,13 @@ fn encode_mb<W: SymbolWriter>(
     let inter_allowed = ctx.ref_fwd.is_some();
 
     let mut cur_block = [0u8; 256];
-    ctx.cur
-        .copy_block(mb_x as isize, mb_y as isize, MB_SIZE, MB_SIZE, &mut cur_block);
+    ctx.cur.copy_block(
+        mb_x as isize,
+        mb_y as isize,
+        MB_SIZE,
+        MB_SIZE,
+        &mut cur_block,
+    );
 
     // --- per-MB QP (CRF-like motion-adaptive quantisation) ---
     let mut qp = base_qp;
@@ -592,7 +611,9 @@ fn encode_mb<W: SymbolWriter>(
     let lam = lambda(qp);
 
     // --- mode decision ---
-    let mode = decide_mode(ctx, states, &nb, mb, mb_x, mb_y, &cur_block, qp, lam, pred_fwd);
+    let mode = decide_mode(
+        ctx, states, &nb, mb, mb_x, mb_y, &cur_block, qp, lam, pred_fwd,
+    );
 
     // --- write syntax + reconstruct ---
     let avail = IntraAvail {
@@ -614,7 +635,18 @@ fn encode_mb<W: SymbolWriter>(
                 ctx.cfg.subpel,
             );
             recon.store_block(mb_x, mb_y, MB_SIZE, MB_SIZE, &pred);
-            push_mc_deps(&mut deps, grid, ctx.plan.ref_fwd.expect("skip ref"), mb_x, mb_y, MB_SIZE, MB_SIZE, mv, 1.0, ctx.cfg.subpel);
+            push_mc_deps(
+                &mut deps,
+                grid,
+                ctx.plan.ref_fwd.expect("skip ref"),
+                mb_x,
+                mb_y,
+                MB_SIZE,
+                MB_SIZE,
+                mv,
+                1.0,
+                ctx.cfg.subpel,
+            );
             states[mb] = MbState {
                 coded: true,
                 skip: true,
@@ -727,18 +759,94 @@ fn encode_mb<W: SymbolWriter>(
                 let sp = ctx.cfg.subpel;
                 let block_pred = match b.dir {
                     PredDir::Forward => {
-                        push_mc_deps(&mut deps, grid, ctx.plan.ref_fwd.expect("fwd ref"), bx, by, g.w, g.h, b.mv_fwd, area_frac(g.w, g.h), sp);
-                        mc_block_sub(ctx.ref_fwd.expect("fwd ref"), bx, by, g.w, g.h, b.mv_fwd, sp)
+                        push_mc_deps(
+                            &mut deps,
+                            grid,
+                            ctx.plan.ref_fwd.expect("fwd ref"),
+                            bx,
+                            by,
+                            g.w,
+                            g.h,
+                            b.mv_fwd,
+                            area_frac(g.w, g.h),
+                            sp,
+                        );
+                        mc_block_sub(
+                            ctx.ref_fwd.expect("fwd ref"),
+                            bx,
+                            by,
+                            g.w,
+                            g.h,
+                            b.mv_fwd,
+                            sp,
+                        )
                     }
                     PredDir::Backward => {
-                        push_mc_deps(&mut deps, grid, ctx.plan.ref_bwd.expect("bwd ref"), bx, by, g.w, g.h, b.mv_bwd, area_frac(g.w, g.h), sp);
-                        mc_block_sub(ctx.ref_bwd.expect("bwd ref"), bx, by, g.w, g.h, b.mv_bwd, sp)
+                        push_mc_deps(
+                            &mut deps,
+                            grid,
+                            ctx.plan.ref_bwd.expect("bwd ref"),
+                            bx,
+                            by,
+                            g.w,
+                            g.h,
+                            b.mv_bwd,
+                            area_frac(g.w, g.h),
+                            sp,
+                        );
+                        mc_block_sub(
+                            ctx.ref_bwd.expect("bwd ref"),
+                            bx,
+                            by,
+                            g.w,
+                            g.h,
+                            b.mv_bwd,
+                            sp,
+                        )
                     }
                     PredDir::Bi => {
-                        push_mc_deps(&mut deps, grid, ctx.plan.ref_fwd.expect("fwd ref"), bx, by, g.w, g.h, b.mv_fwd, area_frac(g.w, g.h) * 0.5, sp);
-                        push_mc_deps(&mut deps, grid, ctx.plan.ref_bwd.expect("bwd ref"), bx, by, g.w, g.h, b.mv_bwd, area_frac(g.w, g.h) * 0.5, sp);
-                        let f = mc_block_sub(ctx.ref_fwd.expect("fwd ref"), bx, by, g.w, g.h, b.mv_fwd, sp);
-                        let bw = mc_block_sub(ctx.ref_bwd.expect("bwd ref"), bx, by, g.w, g.h, b.mv_bwd, sp);
+                        push_mc_deps(
+                            &mut deps,
+                            grid,
+                            ctx.plan.ref_fwd.expect("fwd ref"),
+                            bx,
+                            by,
+                            g.w,
+                            g.h,
+                            b.mv_fwd,
+                            area_frac(g.w, g.h) * 0.5,
+                            sp,
+                        );
+                        push_mc_deps(
+                            &mut deps,
+                            grid,
+                            ctx.plan.ref_bwd.expect("bwd ref"),
+                            bx,
+                            by,
+                            g.w,
+                            g.h,
+                            b.mv_bwd,
+                            area_frac(g.w, g.h) * 0.5,
+                            sp,
+                        );
+                        let f = mc_block_sub(
+                            ctx.ref_fwd.expect("fwd ref"),
+                            bx,
+                            by,
+                            g.w,
+                            g.h,
+                            b.mv_fwd,
+                            sp,
+                        );
+                        let bw = mc_block_sub(
+                            ctx.ref_bwd.expect("bwd ref"),
+                            bx,
+                            by,
+                            g.w,
+                            g.h,
+                            b.mv_bwd,
+                            sp,
+                        );
                         bi_average(&f, &bw)
                     }
                 };
@@ -749,7 +857,9 @@ fn encode_mb<W: SymbolWriter>(
                 }
             }
             let pred_arr: [u8; 256] = pred16.try_into().expect("16x16 prediction");
-            code_residual_and_recon(w, recon, mb_x, mb_y, &cur_block, &pred_arr, qp, false, prev_qp);
+            code_residual_and_recon(
+                w, recon, mb_x, mb_y, &cur_block, &pred_arr, qp, false, prev_qp,
+            );
             let rep_fwd = blocks
                 .iter()
                 .find(|b| b.dir != PredDir::Backward)
@@ -864,8 +974,7 @@ fn decide_mode(
                 for y in 0..4 {
                     for x in 0..4 {
                         let i = ((blk / 4) * 4 + y) * MB_SIZE + (blk % 4) * 4 + x;
-                        sad += (cur_block[i] as i32 - pred[y * 4 + x] as i32).unsigned_abs()
-                            as u64;
+                        sad += (cur_block[i] as i32 - pred[y * 4 + x] as i32).unsigned_abs() as u64;
                     }
                 }
                 best = best.min(sad);
@@ -887,7 +996,15 @@ fn decide_mode(
 
     // Skip candidate: prediction with the predicted MV and zero residual.
     {
-        let pred = mc_block_sub(ref_fwd, mb_x, mb_y, MB_SIZE, MB_SIZE, pred_fwd, ctx.cfg.subpel);
+        let pred = mc_block_sub(
+            ref_fwd,
+            mb_x,
+            mb_y,
+            MB_SIZE,
+            MB_SIZE,
+            pred_fwd,
+            ctx.cfg.subpel,
+        );
         let sad: u64 = cur_block
             .iter()
             .zip(&pred)
@@ -910,12 +1027,37 @@ fn decide_mode(
 
     // Inter: 16x16 search, then partition refinement.
     let sp = ctx.cfg.subpel;
-    let whole = search_sub(ctx.cur, ref_fwd, mb_x, mb_y, MB_SIZE, MB_SIZE, pred_fwd, ctx.cfg.search_range, sp);
+    let whole = search_sub(
+        ctx.cur,
+        ref_fwd,
+        mb_x,
+        mb_y,
+        MB_SIZE,
+        MB_SIZE,
+        pred_fwd,
+        ctx.cfg.search_range,
+        sp,
+    );
     let bwd_whole = ctx.ref_bwd.map(|rb| {
-        search_sub(ctx.cur, rb, mb_x, mb_y, MB_SIZE, MB_SIZE, MotionVector::ZERO, ctx.cfg.search_range, sp)
+        search_sub(
+            ctx.cur,
+            rb,
+            mb_x,
+            mb_y,
+            MB_SIZE,
+            MB_SIZE,
+            MotionVector::ZERO,
+            ctx.cfg.search_range,
+            sp,
+        )
     });
 
-    let shapes = [PartShape::P16x16, PartShape::P16x8, PartShape::P8x16, PartShape::P8x8];
+    let shapes = [
+        PartShape::P16x16,
+        PartShape::P16x8,
+        PartShape::P8x16,
+        PartShape::P8x8,
+    ];
     let mut best_inter: Option<(PartitionLayout, Vec<InterBlock>, u64)> = None;
     for shape in shapes {
         let mut layout = PartitionLayout {
@@ -926,17 +1068,34 @@ fn decide_mode(
             // Choose each quadrant's sub-shape independently.
             for q in 0..4 {
                 let mut best_sub = (SubShape::S8x8, u64::MAX);
-                for sub in [SubShape::S8x8, SubShape::S8x4, SubShape::S4x8, SubShape::S4x4] {
+                for sub in [
+                    SubShape::S8x8,
+                    SubShape::S8x4,
+                    SubShape::S4x8,
+                    SubShape::S4x4,
+                ] {
                     let trial = PartitionLayout {
                         shape: PartShape::P8x8,
                         subs: [sub; 4],
                     };
                     // Cost just for this quadrant's blocks.
                     let mut cost = 0u64;
-                    for g in trial.blocks().iter().filter(|g| {
-                        g.dx / 8 == q % 2 && g.dy / 8 == q / 2
-                    }) {
-                        let r = search_sub(ctx.cur, ref_fwd, mb_x + g.dx, mb_y + g.dy, g.w, g.h, whole.mv, 2, sp);
+                    for g in trial
+                        .blocks()
+                        .iter()
+                        .filter(|g| g.dx / 8 == q % 2 && g.dy / 8 == q / 2)
+                    {
+                        let r = search_sub(
+                            ctx.cur,
+                            ref_fwd,
+                            mb_x + g.dx,
+                            mb_y + g.dy,
+                            g.w,
+                            g.h,
+                            whole.mv,
+                            2,
+                            sp,
+                        );
                         cost += r.sad + lam * 10;
                     }
                     if cost < best_sub.1 {
@@ -952,7 +1111,11 @@ fn decide_mode(
         for g in &geoms {
             let bx = mb_x + g.dx;
             let by = mb_y + g.dy;
-            let refine = if *g == geoms[0] && shape == PartShape::P16x16 { 0 } else { 2 };
+            let refine = if *g == geoms[0] && shape == PartShape::P16x16 {
+                0
+            } else {
+                2
+            };
             let fwd = if refine == 0 {
                 whole
             } else {
@@ -995,7 +1158,11 @@ fn decide_mode(
     // VideoApp, creates in-frame dependency chains. The approximability-
     // aware mode penalises intra harder (spatial dependencies raise the
     // importance of every preceding macroblock).
-    let intra_penalty = if ctx.cfg.approx_bias { lam * 48 } else { lam * 8 };
+    let intra_penalty = if ctx.cfg.approx_bias {
+        lam * 48
+    } else {
+        lam * 8
+    };
     if best_intra_cost + intra_penalty < inter_cost {
         if intra4_better {
             MbMode::Intra4
@@ -1183,13 +1350,16 @@ pub(crate) fn quadrant_blocks(q: usize) -> [usize; 4] {
 /// interleaved levels and last flags.
 fn code_block_coeffs<W: SymbolWriter>(w: &mut W, levels: &Block4x4) {
     let zz = to_zigzag(levels);
-    let last = (0..16).rev().find(|&i| zz[i] != 0).expect("coded block has a coefficient");
-    for i in 0..16 {
-        let sig = zz[i] != 0;
+    let last = (0..16)
+        .rev()
+        .find(|&i| zz[i] != 0)
+        .expect("coded block has a coefficient");
+    for (i, &z) in zz.iter().enumerate() {
+        let sig = z != 0;
         w.put_flag(Element::Sig, i.min(14), sig);
         if sig {
-            w.put_uint(Element::Level, usize::from(i != 0), zz[i].unsigned_abs() - 1);
-            w.put_sign(zz[i] < 0);
+            w.put_uint(Element::Level, usize::from(i != 0), z.unsigned_abs() - 1);
+            w.put_sign(z < 0);
             let is_last = i == last;
             w.put_flag(Element::Last, i.min(14), is_last);
             if is_last {
@@ -1246,7 +1416,11 @@ mod tests {
     fn gop_inserts_i_frames_at_keyint() {
         let plans = plan_gop(10, 4, 0);
         for p in &plans {
-            let expect = if p.display % 4 == 0 { FrameType::I } else { FrameType::P };
+            let expect = if p.display % 4 == 0 {
+                FrameType::I
+            } else {
+                FrameType::P
+            };
             assert_eq!(p.frame_type, expect, "display {}", p.display);
         }
     }

@@ -25,6 +25,7 @@ pub struct SearchResult {
 /// of `cur` at `(x, y)`, matching against `reference`.
 ///
 /// Ties break toward the vector closest to `center` (cheaper to code).
+#[allow(clippy::too_many_arguments)] // block geometry: x, y, w, h + search window
 pub fn motion_search(
     cur: &Plane,
     reference: &Plane,
@@ -55,7 +56,8 @@ pub fn motion_search(
                 x as isize + mv.x as isize,
                 y as isize + mv.y as isize,
             );
-            let dist = (mv.x as i32 - center.x as i32).abs() + (mv.y as i32 - center.y as i32).abs();
+            let dist =
+                (mv.x as i32 - center.x as i32).abs() + (mv.y as i32 - center.y as i32).abs();
             if sad < best.sad || (sad == best.sad && dist < best_dist) {
                 best = SearchResult { mv, sad };
                 best_dist = dist;
@@ -67,7 +69,14 @@ pub fn motion_search(
 
 /// Motion-compensates a `w x h` block: copies the block at
 /// `(x + mv.x, y + mv.y)` from the reference (clamped at borders).
-pub fn mc_block(reference: &Plane, x: usize, y: usize, w: usize, h: usize, mv: MotionVector) -> Vec<u8> {
+pub fn mc_block(
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    mv: MotionVector,
+) -> Vec<u8> {
     let mut out = vec![0u8; w * h];
     reference.copy_block(
         x as isize + mv.x as isize,
@@ -150,12 +159,7 @@ pub fn ref_rect(
     subpel: bool,
 ) -> vapp_media::Rect {
     if !subpel {
-        return vapp_media::Rect::new(
-            x as isize + mv.x as isize,
-            y as isize + mv.y as isize,
-            w,
-            h,
-        );
+        return vapp_media::Rect::new(x as isize + mv.x as isize, y as isize + mv.y as isize, w, h);
     }
     let bx = x as isize * 2 + mv.x as isize;
     let by = y as isize * 2 + mv.y as isize;
@@ -236,7 +240,7 @@ pub fn bi_average(fwd: &[u8], bwd: &[u8]) -> Vec<u8> {
     assert_eq!(fwd.len(), bwd.len(), "bi-prediction block size mismatch");
     fwd.iter()
         .zip(bwd)
-        .map(|(&a, &b)| ((a as u16 + b as u16 + 1) / 2) as u8)
+        .map(|(&a, &b)| (a as u16 + b as u16).div_ceil(2) as u8)
         .collect()
 }
 
@@ -278,16 +282,7 @@ mod tests {
         let reference = patch_plane(20, 20);
         let cur = patch_plane(30, 20);
         // Center the window near the true vector; a small range suffices.
-        let r = motion_search(
-            &cur,
-            &reference,
-            30,
-            20,
-            8,
-            8,
-            MotionVector::new(-8, 0),
-            3,
-        );
+        let r = motion_search(&cur, &reference, 30, 20, 8, 8, MotionVector::new(-8, 0), 3);
         assert_eq!(r.mv, MotionVector::new(-10, 0));
     }
 
@@ -349,16 +344,41 @@ mod tests {
                 // Shift by 0.5 px: average of neighbours.
                 let a = reference.sample(x as isize, y as isize) as u16;
                 let b = reference.sample(x as isize + 1, y as isize) as u16;
-                cur.set(x, y, ((a + b + 1) / 2) as u8);
+                cur.set(x, y, (a + b).div_ceil(2) as u8);
             }
         }
-        let r = search_sub(&cur, &reference, 16, 16, 16, 16, MotionVector::ZERO, 4, true);
+        let r = search_sub(
+            &cur,
+            &reference,
+            16,
+            16,
+            16,
+            16,
+            MotionVector::ZERO,
+            4,
+            true,
+        );
         // The ramp is constant vertically, so any y half-offset ties; the
         // x component must be the half-pel shift.
         assert_eq!(r.mv.x, 1, "mv {:?} sad {}", r.mv, r.sad);
         assert_eq!(r.sad, 0);
-        let full = search_sub(&cur, &reference, 16, 16, 16, 16, MotionVector::ZERO, 4, false);
-        assert!(r.sad < full.sad, "half-pel must win: {} vs {}", r.sad, full.sad);
+        let full = search_sub(
+            &cur,
+            &reference,
+            16,
+            16,
+            16,
+            16,
+            MotionVector::ZERO,
+            4,
+            false,
+        );
+        assert!(
+            r.sad < full.sad,
+            "half-pel must win: {} vs {}",
+            r.sad,
+            full.sad
+        );
     }
 
     #[test]

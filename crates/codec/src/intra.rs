@@ -72,11 +72,9 @@ pub fn predict_intra16(
                 }
                 count += MB_SIZE as u32;
             }
-            let dc = if count == 0 {
-                128
-            } else {
-                ((sum + count / 2) / count) as u8
-            };
+            let dc = (sum + count / 2)
+                .checked_div(count)
+                .map_or(128, |v| v as u8);
             out.fill(dc);
         }
         IntraMode::Vertical => {
@@ -197,11 +195,9 @@ pub fn predict_intra4(
                 sum += l.iter().map(|&v| v as u32).sum::<u32>();
                 count += 4;
             }
-            let dc = if count == 0 {
-                128
-            } else {
-                ((sum + count / 2) / count) as u8
-            };
+            let dc = (sum + count / 2)
+                .checked_div(count)
+                .map_or(128, |v| v as u8);
             out.fill(dc);
         }
         Intra4Mode::Vertical => {
@@ -284,7 +280,10 @@ pub fn intra_sources(
     let above_left = (col > 0 && row > 0).then(|| grid.mb_index(col - 1, row - 1));
 
     match mode {
-        IntraMode::Dc => match (avail.left.then_some(left).flatten(), avail.top.then_some(above).flatten()) {
+        IntraMode::Dc => match (
+            avail.left.then_some(left).flatten(),
+            avail.top.then_some(above).flatten(),
+        ) {
             (Some(l), Some(a)) => vec![(a, 0.5), (l, 0.5)],
             (Some(l), None) => vec![(l, 1.0)],
             (None, Some(a)) => vec![(a, 1.0)],
@@ -327,8 +326,14 @@ mod tests {
         p
     }
 
-    const BOTH: IntraAvail = IntraAvail { left: true, top: true };
-    const NONE: IntraAvail = IntraAvail { left: false, top: false };
+    const BOTH: IntraAvail = IntraAvail {
+        left: true,
+        top: true,
+    };
+    const NONE: IntraAvail = IntraAvail {
+        left: false,
+        top: false,
+    };
 
     #[test]
     fn dc_without_neighbors_is_mid_gray() {
@@ -388,12 +393,24 @@ mod tests {
         assert_eq!(v, dc);
     }
 
-    const BOTH4: Intra4Avail = Intra4Avail { left: true, top: true };
+    const BOTH4: Intra4Avail = Intra4Avail {
+        left: true,
+        top: true,
+    };
 
     #[test]
     fn intra4_dc_without_neighbors_is_mid_gray() {
         let p = ramp_plane();
-        let pred = predict_intra4(&p, 20, 20, Intra4Avail { left: false, top: false }, Intra4Mode::Dc);
+        let pred = predict_intra4(
+            &p,
+            20,
+            20,
+            Intra4Avail {
+                left: false,
+                top: false,
+            },
+            Intra4Mode::Dc,
+        );
         assert!(pred.iter().all(|&v| v == 128));
     }
 
@@ -439,7 +456,10 @@ mod tests {
     #[test]
     fn intra4_illegal_mode_degrades_to_dc() {
         let p = ramp_plane();
-        let none = Intra4Avail { left: false, top: false };
+        let none = Intra4Avail {
+            left: false,
+            top: false,
+        };
         let ddl = predict_intra4(&p, 20, 20, none, Intra4Mode::DiagDownLeft);
         let dc = predict_intra4(&p, 20, 20, none, Intra4Mode::Dc);
         assert_eq!(ddl, dc);
@@ -447,9 +467,33 @@ mod tests {
 
     #[test]
     fn intra4_legal_mode_sets() {
-        assert_eq!(Intra4Avail { left: false, top: false }.legal_modes().len(), 1);
-        assert_eq!(Intra4Avail { left: true, top: false }.legal_modes().len(), 2);
-        assert_eq!(Intra4Avail { left: false, top: true }.legal_modes().len(), 3);
+        assert_eq!(
+            Intra4Avail {
+                left: false,
+                top: false
+            }
+            .legal_modes()
+            .len(),
+            1
+        );
+        assert_eq!(
+            Intra4Avail {
+                left: true,
+                top: false
+            }
+            .legal_modes()
+            .len(),
+            2
+        );
+        assert_eq!(
+            Intra4Avail {
+                left: false,
+                top: true
+            }
+            .legal_modes()
+            .len(),
+            3
+        );
         assert_eq!(BOTH4.legal_modes().len(), 5);
     }
 

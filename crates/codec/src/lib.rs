@@ -48,9 +48,11 @@ pub mod transform;
 pub mod types;
 
 pub use analysis::{AnalysisRecord, Dependency, FrameAnalysis, MbAnalysis};
+pub use container::ParseContainerError;
 pub use decoder::decode;
 pub use encoder::{EncodeResult, Encoder, EncoderConfig};
 pub use entropy::EntropyMode;
-pub use container::ParseContainerError;
 pub use syntax::{EncodedFrame, EncodedVideo, FrameHeader, StreamHeader};
-pub use types::{FrameType, IntraMode, MotionVector, PartShape, PartitionLayout, PredDir, SubShape};
+pub use types::{
+    FrameType, IntraMode, MotionVector, PartShape, PartitionLayout, PredDir, SubShape,
+};

@@ -15,12 +15,7 @@ pub fn forward4x4(input: &Block4x4) -> Block4x4 {
     let mut tmp = [0i32; 16];
     // Transform rows: Cf * X.
     for col in 0..4 {
-        let (a, b, c, d) = (
-            input[col],
-            input[4 + col],
-            input[8 + col],
-            input[12 + col],
-        );
+        let (a, b, c, d) = (input[col], input[4 + col], input[8 + col], input[12 + col]);
         let s0 = a + d;
         let s1 = b + c;
         let s2 = b - c;
@@ -54,7 +49,12 @@ pub fn inverse4x4(input: &Block4x4) -> Block4x4 {
     // Rows first.
     for row in 0..4 {
         let base = row * 4;
-        let (a, b, c, d) = (input[base], input[base + 1], input[base + 2], input[base + 3]);
+        let (a, b, c, d) = (
+            input[base],
+            input[base + 1],
+            input[base + 2],
+            input[base + 3],
+        );
         let e0 = a + c;
         let e1 = a - c;
         let e2 = (b >> 1) - d;

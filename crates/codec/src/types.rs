@@ -384,9 +384,15 @@ mod tests {
             },
             PartitionLayout {
                 shape: PartShape::P8x8,
-                subs: [SubShape::S8x8, SubShape::S8x4, SubShape::S4x8, SubShape::S4x4],
+                subs: [
+                    SubShape::S8x8,
+                    SubShape::S8x4,
+                    SubShape::S4x8,
+                    SubShape::S4x4,
+                ],
             },
         ];
+        #[allow(clippy::needless_range_loop)] // (x, y) pixel coordinates
         for layout in layouts {
             let mut covered = [[false; 16]; 16];
             for b in layout.blocks() {
@@ -415,11 +421,21 @@ mod tests {
 
     #[test]
     fn index_roundtrips_and_clamping() {
-        for s in [PartShape::P16x16, PartShape::P16x8, PartShape::P8x16, PartShape::P8x8] {
+        for s in [
+            PartShape::P16x16,
+            PartShape::P16x8,
+            PartShape::P8x16,
+            PartShape::P8x8,
+        ] {
             assert_eq!(PartShape::from_index(s.to_index()), s);
         }
         assert_eq!(PartShape::from_index(999), PartShape::P8x8);
-        for s in [SubShape::S8x8, SubShape::S8x4, SubShape::S4x8, SubShape::S4x4] {
+        for s in [
+            SubShape::S8x8,
+            SubShape::S8x4,
+            SubShape::S4x8,
+            SubShape::S4x4,
+        ] {
             assert_eq!(SubShape::from_index(s.to_index()), s);
         }
         for d in [PredDir::Forward, PredDir::Backward, PredDir::Bi] {

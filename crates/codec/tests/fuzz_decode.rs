@@ -1,28 +1,31 @@
 //! Decoder totality under arbitrary payload corruption: the property the
-//! whole approximate-storage design rests on.
+//! whole approximate-storage design rests on. Driven by the in-repo
+//! `vapp-check` fuzz harness (seeded cases, `VAPP_CHECK_SEED` replay).
 
-use proptest::prelude::*;
+use vapp_check::{check, RngExt};
 use vapp_codec::{decode, Encoder, EncoderConfig, EntropyMode};
 use vapp_workloads::{ClipSpec, SceneKind};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn decoder_is_total_under_arbitrary_corruption() {
+    check("decoder_is_total_under_arbitrary_corruption", 24, |rng| {
+        let seed = rng.random_range(0..50u64);
+        let xor_mask = rng.random_range(1..=255u8);
+        let stride = rng.random_range(1..7usize);
+        let entropy_cavlc: bool = rng.random();
+        let truncate_den = rng.random_range(1..4usize);
 
-    #[test]
-    fn decoder_is_total_under_arbitrary_corruption(
-        seed in 0u64..50,
-        xor_mask in 1u8..=255,
-        stride in 1usize..7,
-        entropy_cavlc in any::<bool>(),
-        truncate_den in 1usize..4,
-    ) {
         let video = ClipSpec::new(48, 32, 6, SceneKind::MovingBlocks)
             .seed(seed)
             .generate();
         let cfg = EncoderConfig {
             keyint: 3,
             bframes: 1,
-            entropy: if entropy_cavlc { EntropyMode::Cavlc } else { EntropyMode::Cabac },
+            entropy: if entropy_cavlc {
+                EntropyMode::Cavlc
+            } else {
+                EntropyMode::Cabac
+            },
             ..EncoderConfig::default()
         };
         let mut stream = Encoder::new(cfg).encode(&video).stream;
@@ -35,8 +38,8 @@ proptest! {
         }
         // Must never panic, and must keep the declared geometry.
         let decoded = decode(&stream);
-        prop_assert_eq!(decoded.len(), video.len());
-        prop_assert_eq!(decoded.width(), video.width());
-        prop_assert_eq!(decoded.height(), video.height());
-    }
+        assert_eq!(decoded.len(), video.len());
+        assert_eq!(decoded.width(), video.width());
+        assert_eq!(decoded.height(), video.height());
+    });
 }

@@ -4,15 +4,32 @@ use vapp_workloads::{ClipSpec, SceneKind};
 
 #[test]
 fn codec_sanity_report() {
-    let video = ClipSpec::new(96, 64, 12, SceneKind::MovingBlocks).seed(3).generate();
+    let video = ClipSpec::new(96, 64, 12, SceneKind::MovingBlocks)
+        .seed(3)
+        .generate();
     let raw_bits = (video.total_pixels() * 8) as f64;
-    for (crf, entropy) in [(16u8, EntropyMode::Cabac), (24, EntropyMode::Cabac), (32, EntropyMode::Cabac), (24, EntropyMode::Cavlc)] {
-        let cfg = EncoderConfig { crf, entropy, keyint: 8, bframes: 2, ..Default::default() };
+    for (crf, entropy) in [
+        (16u8, EntropyMode::Cabac),
+        (24, EntropyMode::Cabac),
+        (32, EntropyMode::Cabac),
+        (24, EntropyMode::Cavlc),
+    ] {
+        let cfg = EncoderConfig {
+            crf,
+            entropy,
+            keyint: 8,
+            bframes: 2,
+            ..Default::default()
+        };
         let r = Encoder::new(cfg).encode(&video);
         let bits = r.stream.payload_bits() as f64 + r.stream.header_bits() as f64;
         let psnr = video_psnr(&video, &r.reconstruction);
         let dec = decode(&r.stream);
         assert_eq!(dec, r.reconstruction);
-        eprintln!("crf={crf} {entropy:?}: ratio={:.1}x psnr={psnr:.2}dB bpp={:.3}", raw_bits/bits, bits/video.total_pixels() as f64);
+        eprintln!(
+            "crf={crf} {entropy:?}: ratio={:.1}x psnr={psnr:.2}dB bpp={:.3}",
+            raw_bits / bits,
+            bits / video.total_pixels() as f64
+        );
     }
 }

@@ -92,7 +92,10 @@ impl LossCurve {
     /// Panics if no points are given or any rate is non-positive.
     pub fn new(mut points: Vec<(f64, f64)>) -> Self {
         assert!(!points.is_empty(), "a loss curve needs samples");
-        assert!(points.iter().all(|&(r, _)| r > 0.0), "rates must be positive");
+        assert!(
+            points.iter().all(|&(r, _)| r > 0.0),
+            "rates must be positive"
+        );
         points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite rates"));
         LossCurve { points }
     }
@@ -294,13 +297,20 @@ mod tests {
             .per_class
             .iter()
             .map(|&(_, _, s)| {
-                EcScheme::LADDER.iter().position(|&l| l == s).expect("in ladder")
+                EcScheme::LADDER
+                    .iter()
+                    .position(|&l| l == s)
+                    .expect("in ladder")
             })
             .collect();
         assert!(rungs.windows(2).all(|w| w[0] <= w[1]), "{rungs:?}");
         // Least important class gets weak or no protection; most important
         // gets strong protection.
-        assert!(rungs[0] <= 1, "lowest class over-protected: {:?}", a.per_class[0].2);
+        assert!(
+            rungs[0] <= 1,
+            "lowest class over-protected: {:?}",
+            a.per_class[0].2
+        );
         assert!(
             rungs[rungs.len() - 1] >= 4,
             "highest class under-protected: {:?}",

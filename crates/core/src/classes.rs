@@ -56,11 +56,7 @@ pub struct Bin {
 /// # Panics
 ///
 /// Panics if `n_bins` is zero.
-pub fn equal_storage_bins(
-    rec: &AnalysisRecord,
-    imp: &ImportanceMap,
-    n_bins: usize,
-) -> Vec<Bin> {
+pub fn equal_storage_bins(rec: &AnalysisRecord, imp: &ImportanceMap, n_bins: usize) -> Vec<Bin> {
     assert!(n_bins > 0, "need at least one bin");
     let mut mbs = mb_bit_ranges(rec, imp);
     mbs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("importances are finite"));
@@ -145,7 +141,9 @@ mod tests {
     use vapp_workloads::{ClipSpec, SceneKind};
 
     fn setup() -> (AnalysisRecord, ImportanceMap) {
-        let video = ClipSpec::new(64, 48, 10, SceneKind::MovingBlocks).seed(6).generate();
+        let video = ClipSpec::new(64, 48, 10, SceneKind::MovingBlocks)
+            .seed(6)
+            .generate();
         let rec = Encoder::new(EncoderConfig {
             keyint: 5,
             bframes: 1,

@@ -195,7 +195,9 @@ mod tests {
     use vapp_workloads::{ClipSpec, SceneKind};
 
     fn analyzed(bframes: u8, slices: u8) -> AnalysisRecord {
-        let video = ClipSpec::new(64, 48, 8, SceneKind::MovingBlocks).seed(2).generate();
+        let video = ClipSpec::new(64, 48, 8, SceneKind::MovingBlocks)
+            .seed(2)
+            .generate();
         Encoder::new(EncoderConfig {
             keyint: 8,
             bframes,

@@ -141,7 +141,9 @@ mod tests {
     use vapp_workloads::{ClipSpec, SceneKind};
 
     fn importance_for(keyint: u16, bframes: u8, slices: u8) -> (DependencyGraph, ImportanceMap) {
-        let video = ClipSpec::new(64, 48, 12, SceneKind::MovingBlocks).seed(4).generate();
+        let video = ClipSpec::new(64, 48, 12, SceneKind::MovingBlocks)
+            .seed(4)
+            .generate();
         let rec = Encoder::new(EncoderConfig {
             keyint,
             bframes,
@@ -214,7 +216,9 @@ mod tests {
 
     #[test]
     fn streaming_matches_global() {
-        let video = ClipSpec::new(64, 48, 16, SceneKind::Panning).seed(5).generate();
+        let video = ClipSpec::new(64, 48, 16, SceneKind::Panning)
+            .seed(5)
+            .generate();
         let rec = Encoder::new(EncoderConfig {
             keyint: 4,
             bframes: 1,

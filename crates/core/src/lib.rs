@@ -34,8 +34,8 @@ pub mod pivots;
 pub mod streams;
 
 pub use assignment::{Assignment, EcScheme, LossCurve, QUALITY_BUDGET_DB};
-pub use facade::{Processed, VideoApp};
 pub use classes::{equal_storage_bins, importance_classes, payload_layout, Bin, Class};
+pub use facade::{Processed, VideoApp};
 pub use graph::{DependencyGraph, NodeId};
 pub use importance::ImportanceMap;
 pub use pipeline::{ApproxStore, PipelineReport, StoragePolicy};

@@ -11,12 +11,12 @@
 use crate::assignment::{Assignment, EcScheme};
 use crate::pivots::PivotTable;
 use crate::streams::{merge_streams, split_streams};
-use rand::rngs::StdRng;
-use rand::RngExt;
 use std::ops::Range;
 use vapp_codec::{bitstream, decode, EncodedVideo};
 use vapp_media::Video;
 use vapp_metrics::{prob_any_flip, video_psnr};
+use vapp_rand::rngs::StdRng;
+use vapp_rand::RngExt;
 use vapp_sim::{pick_k_positions, pick_positions, pick_positions_forced};
 use vapp_storage::bch::{Bch, DecodeOutcome, DATA_BITS};
 use vapp_storage::bits::BitBuf;
@@ -371,12 +371,14 @@ mod tests {
     use super::*;
     use crate::graph::DependencyGraph;
     use crate::importance::ImportanceMap;
-    use rand::SeedableRng;
     use vapp_codec::{Encoder, EncoderConfig};
+    use vapp_rand::SeedableRng;
     use vapp_workloads::{ClipSpec, SceneKind};
 
     fn setup() -> (EncodedVideo, Video, PivotTable) {
-        let video = ClipSpec::new(64, 48, 6, SceneKind::MovingBlocks).seed(11).generate();
+        let video = ClipSpec::new(64, 48, 6, SceneKind::MovingBlocks)
+            .seed(11)
+            .generate();
         let result = Encoder::new(EncoderConfig {
             keyint: 3,
             bframes: 1,
@@ -429,11 +431,7 @@ mod tests {
                 let store = ApproxStore::new(policy);
                 let mut rng = StdRng::seed_from_u64(5);
                 let loaded = store.store_load(&stream, &table, &mut rng);
-                assert_eq!(
-                    loaded != stream,
-                    expect_dirty,
-                    "raw {raw} exact {exact}"
-                );
+                assert_eq!(loaded != stream, expect_dirty, "raw {raw} exact {exact}");
             }
         }
     }

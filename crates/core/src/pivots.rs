@@ -153,7 +153,9 @@ mod tests {
     use vapp_workloads::{ClipSpec, SceneKind};
 
     fn setup() -> (AnalysisRecord, ImportanceMap) {
-        let video = ClipSpec::new(64, 48, 10, SceneKind::MovingBlocks).seed(8).generate();
+        let video = ClipSpec::new(64, 48, 10, SceneKind::MovingBlocks)
+            .seed(8)
+            .generate();
         let rec = Encoder::new(EncoderConfig {
             keyint: 5,
             bframes: 1,
@@ -213,7 +215,10 @@ mod tests {
         // frame. (Relative to payload the ratio shrinks with resolution;
         // this test video is tiny.)
         let per_frame_bits = table.bookkeeping_bits() as f64 / table.frames.len() as f64;
-        assert!(per_frame_bits <= 256.0, "bookkeeping {per_frame_bits} bits/frame");
+        assert!(
+            per_frame_bits <= 256.0,
+            "bookkeeping {per_frame_bits} bits/frame"
+        );
     }
 
     #[test]

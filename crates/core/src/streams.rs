@@ -168,7 +168,9 @@ mod tests {
     use vapp_workloads::{ClipSpec, SceneKind};
 
     fn setup() -> (EncodedVideo, PivotTable) {
-        let video = ClipSpec::new(64, 48, 8, SceneKind::MovingBlocks).seed(9).generate();
+        let video = ClipSpec::new(64, 48, 8, SceneKind::MovingBlocks)
+            .seed(9)
+            .generate();
         let result = Encoder::new(EncoderConfig {
             keyint: 4,
             bframes: 1,

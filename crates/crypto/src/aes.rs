@@ -29,8 +29,8 @@ fn tables() -> &'static Tables {
         let mut log = [0u8; 256];
         let mut alog = [0u8; 256];
         let mut x: u8 = 1;
-        for i in 0..255 {
-            alog[i] = x;
+        for (i, a) in alog.iter_mut().enumerate().take(255) {
+            *a = x;
             log[x as usize] = i as u8;
             // x *= 3 in GF(2^8) with the AES polynomial 0x11B.
             x = x ^ xtime(x);

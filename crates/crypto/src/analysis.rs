@@ -166,7 +166,11 @@ mod tests {
     fn ecb_flip_scrambles_only_its_block() {
         let d = flip_damage(CipherMode::Ecb, &KEY, &IV, &probe(), 130);
         assert_eq!(d.damaged_blocks, 1);
-        assert!(d.damaged_bits > 30, "expected avalanche, got {}", d.damaged_bits);
+        assert!(
+            d.damaged_bits > 30,
+            "expected avalanche, got {}",
+            d.damaged_bits
+        );
         assert!(!d.exact);
     }
 

@@ -230,7 +230,13 @@ mod tests {
     fn aligned_overlap_is_single_mb() {
         let g = MbGrid::for_frame(64, 64);
         let o = g.overlaps(Rect::new(16, 16, 16, 16));
-        assert_eq!(o, vec![MbOverlap { mb_index: 5, pixels: 256 }]);
+        assert_eq!(
+            o,
+            vec![MbOverlap {
+                mb_index: 5,
+                pixels: 256
+            }]
+        );
     }
 
     #[test]
@@ -260,7 +266,13 @@ mod tests {
         let g = MbGrid::for_frame(64, 64);
         // A 4x8 partition fully inside MB 0.
         let o = g.overlaps(Rect::new(4, 4, 4, 8));
-        assert_eq!(o, vec![MbOverlap { mb_index: 0, pixels: 32 }]);
+        assert_eq!(
+            o,
+            vec![MbOverlap {
+                mb_index: 0,
+                pixels: 32
+            }]
+        );
         // Crossing a vertical MB boundary.
         let o = g.overlaps(Rect::new(14, 0, 4, 8));
         assert_eq!(o.len(), 2);

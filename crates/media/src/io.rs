@@ -59,9 +59,8 @@ impl Video {
         if &bytes[0..4] != MAGIC {
             return Err(ParseRawError::BadMagic);
         }
-        let field = |i: usize| {
-            u32::from_be_bytes(bytes[4 + 4 * i..8 + 4 * i].try_into().expect("4 bytes"))
-        };
+        let field =
+            |i: usize| u32::from_be_bytes(bytes[4 + 4 * i..8 + 4 * i].try_into().expect("4 bytes"));
         let (w, h, fps100, n) = (field(0), field(1), field(2), field(3));
         if w == 0 || h == 0 || n == 0 || fps100 == 0 {
             return Err(ParseRawError::InvalidHeader);
@@ -69,7 +68,11 @@ impl Video {
         let (w, h, n) = (w as usize, h as usize, n as usize);
         let frame_bytes = w.checked_mul(h).ok_or(ParseRawError::InvalidHeader)?;
         let need = 20usize
-            .checked_add(frame_bytes.checked_mul(n).ok_or(ParseRawError::InvalidHeader)?)
+            .checked_add(
+                frame_bytes
+                    .checked_mul(n)
+                    .ok_or(ParseRawError::InvalidHeader)?,
+            )
             .ok_or(ParseRawError::InvalidHeader)?;
         if bytes.len() < need {
             return Err(ParseRawError::Truncated);
@@ -95,7 +98,7 @@ impl Video {
     /// Panics if the dimensions are odd (C420 requires even sizes).
     pub fn to_y4m_bytes(&self) -> Vec<u8> {
         assert!(
-            self.width() % 2 == 0 && self.height() % 2 == 0,
+            self.width().is_multiple_of(2) && self.height().is_multiple_of(2),
             "C420 needs even dimensions"
         );
         let fps_num = (self.fps() * 100.0).round() as u32;
@@ -236,7 +239,10 @@ mod tests {
             Video::from_raw_bytes(&bytes[..bytes.len() - 1]),
             Err(ParseRawError::Truncated)
         );
-        assert_eq!(Video::from_raw_bytes(&bytes[..10]), Err(ParseRawError::Truncated));
+        assert_eq!(
+            Video::from_raw_bytes(&bytes[..10]),
+            Err(ParseRawError::Truncated)
+        );
     }
 
     #[test]
@@ -256,10 +262,7 @@ mod tests {
         );
         let mut bytes = sample().to_y4m_bytes();
         bytes.truncate(bytes.len() - 5);
-        assert_eq!(
-            Video::from_y4m_bytes(&bytes),
-            Err(ParseRawError::Truncated)
-        );
+        assert_eq!(Video::from_y4m_bytes(&bytes), Err(ParseRawError::Truncated));
         // 4:4:4 is unsupported.
         assert_eq!(
             Video::from_y4m_bytes(b"YUV4MPEG2 W8 H6 F25:1 C444\nFRAME\n"),

@@ -34,8 +34,8 @@ pub mod io;
 mod plane;
 
 pub use frame::{Frame, Video};
-pub use io::ParseRawError;
 pub use geometry::{MbGrid, MbOverlap, Rect};
+pub use io::ParseRawError;
 pub use plane::Plane;
 
 /// Width and height, in pixels, of an H.264 macroblock.

@@ -165,6 +165,7 @@ impl Plane {
     /// Sum of absolute differences between a block of this plane at `(x, y)`
     /// and a reference block sampled (with clamping) from `other` at
     /// `(rx, ry)`. The cost function used by motion estimation.
+    #[allow(clippy::too_many_arguments)] // block geometry: x, y, w, h + reference
     pub fn sad(
         &self,
         x: usize,

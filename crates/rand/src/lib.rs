@@ -1,0 +1,242 @@
+//! The workspace's only randomness source: a small, fast, seedable PRNG
+//! with zero external dependencies.
+//!
+//! The paper's Monte Carlo error-injection loop (§6.4) needs a
+//! *controlled* randomness source — every experiment must be exactly
+//! reproducible from a `u64` seed, across machines and across PRs. This
+//! crate owns that contract outright instead of inheriting whatever
+//! stream the `rand` crate of the day ships:
+//!
+//! * [`rngs::StdRng`] is xoshiro256\*\* (Blackman & Vigna), seeded from a
+//!   `u64` through SplitMix64. Sub-nanosecond per draw, 256-bit state,
+//!   passes BigCrush.
+//! * The generated stream is **frozen**: a golden-sequence regression
+//!   test pins the first outputs for known seeds, so the stream can
+//!   never silently change between PRs (which would invalidate every
+//!   recorded experiment).
+//!
+//! The API mirrors the subset of the `rand` crate the repo already used,
+//! so call sites only changed their imports:
+//!
+//! ```
+//! use vapp_rand::rngs::StdRng;
+//! use vapp_rand::{RngExt, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let unit: f64 = rng.random();
+//! let coin = rng.random_bool(0.5);
+//! let lane = rng.random_range(0..4usize);
+//! assert!((0.0..1.0).contains(&unit));
+//! assert!(lane < 4);
+//! let _ = coin;
+//! ```
+//!
+//! This is **not** cryptographic randomness. Key/IV material in
+//! `vapp-crypto` is caller-provided; nothing security-sensitive may be
+//! derived from this generator.
+
+mod splitmix;
+mod uniform;
+mod xoshiro;
+
+pub use splitmix::SplitMix64;
+pub use uniform::{SampleRange, SampleUniform};
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::xoshiro::Xoshiro256StarStar;
+
+    /// The workspace's standard generator: xoshiro256\*\*.
+    ///
+    /// A type alias (not a newtype) so the whole repo agrees on one
+    /// concrete generator in function signatures like
+    /// `fn store_load(&self, .., rng: &mut StdRng)`.
+    pub type StdRng = Xoshiro256StarStar;
+}
+
+/// A source of random bits. Everything else is derived from
+/// [`next_u64`](RngCore::next_u64).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns 32 random bits (the upper half of one `next_u64` draw —
+    /// xoshiro's high bits are its strongest).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes (little-endian `next_u64` words).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed accepted by [`from_seed`](SeedableRng::from_seed).
+    type Seed;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded to full state via
+    /// SplitMix64 (the seeding scheme recommended by xoshiro's authors).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Ergonomic sampling methods, mirroring the `rand::Rng` surface the
+/// repo uses: `random()`, `random_bool(p)`, `random_range(a..b)`.
+///
+/// Blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Samples a value of type `T` from its standard distribution:
+    /// full-range for integers, `[0, 1)` for floats, fair coin for
+    /// `bool`, independent bytes for `[u8; N]`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        // 53-bit comparison: exact for p = 0 and p = 1.
+        f64::random(self) < p
+    }
+
+    /// Samples uniformly from a range, e.g. `rng.random_range(0..n)` or
+    /// `rng.random_range(-1.0..1.0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Types with a standard distribution for [`RngExt::random`].
+pub trait Random: Sized {
+    /// Samples one value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_uint {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                // Truncation keeps the high bits (the strong ones).
+                (rng.next_u64() >> (64 - <$t>::BITS)) as $t
+            }
+        }
+    )*};
+}
+impl_random_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_random_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                <$u>::random(rng) as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform on `[0, 1)` with 24 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Random for [u8; N] {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn fill_bytes_matches_next_u64_words() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 20];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u64().to_le_bytes();
+        let w1 = b.next_u64().to_le_bytes();
+        let w2 = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[0..8], &w0);
+        assert_eq!(&buf[8..16], &w1);
+        assert_eq!(&buf[16..20], &w2[..4]);
+    }
+
+    #[test]
+    fn array_random_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(2);
+        let mut b = StdRng::seed_from_u64(2);
+        let x: [u8; 16] = a.random();
+        let y: [u8; 16] = b.random();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn random_bool_rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        rng.random_bool(1.5);
+    }
+
+    #[test]
+    fn random_bool_extremes_are_exact() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Uniform sampling from ranges: `rng.random_range(a..b)`.
+//!
+//! Integers use Lemire's widening-multiply method with rejection, so
+//! every value in the range is exactly equally likely (no modulo bias —
+//! the Monte Carlo flip-position sampler feeds chi-squared checks that
+//! would catch it). Floats use the affine map from the 53-bit unit
+//! interval.
+
+use crate::{Random, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Samples uniformly from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Range argument accepted by [`RngExt::random_range`](crate::RngExt::random_range).
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + std::fmt::Debug> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + std::fmt::Debug> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "empty range {low:?}..={high:?}");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Unbiased draw from `[0, span]` (span inclusive) via Lemire's method.
+fn lemire_u64<R: RngCore + ?Sized>(rng: &mut R, span_inclusive: u64) -> u64 {
+    if span_inclusive == u64::MAX {
+        return rng.next_u64();
+    }
+    let s = span_inclusive + 1; // number of values, >= 1
+                                // Reject the low fringe of the 2^64 space that maps unevenly.
+    let threshold = s.wrapping_neg() % s; // (2^64 - s) mod s
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (s as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                // span in the unsigned domain; high > low so span >= 1.
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                low.wrapping_add(lemire_u64(rng, span - 1) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                low.wrapping_add(lemire_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let unit = <$t>::random(rng);
+                // The affine map can land exactly on `high` after
+                // rounding when the span is large; clamp keeps the
+                // half-open contract.
+                let v = low + (high - low) * unit;
+                if v >= high { <$t>::max(low, high - (high - low) * <$t>::EPSILON) } else { v }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                low + (high - low) * <$t>::random(rng)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{RngExt, SeedableRng};
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3..17u64);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(-5..5i32);
+            assert!((-5..5).contains(&w));
+            let x = rng.random_range(0..=7u8);
+            assert!(x <= 7);
+        }
+    }
+
+    #[test]
+    fn singleton_ranges_are_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(rng.random_range(9..10usize), 9);
+            assert_eq!(rng.random_range(4..=4i64), 4);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let _ = rng.random_range(0..=u64::MAX);
+            let _ = rng.random_range(0..u64::MAX);
+            let _ = rng.random_range(i64::MIN..=i64::MAX);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&v));
+            let w = rng.random_range(1e-12..1e-2f64);
+            assert!((1e-12..1e-2).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.random_range(5..5u32);
+    }
+
+    #[test]
+    fn every_bucket_is_reachable() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

@@ -1,0 +1,152 @@
+//! xoshiro256\*\* 1.0 (Blackman & Vigna, 2018), translated from the
+//! public-domain reference implementation.
+//!
+//! 256 bits of state, period 2^256 − 1, passes BigCrush. The `**`
+//! scrambler has no known linear artifacts in any output bit, so the
+//! whole 64-bit output is usable for both float and integer derivation.
+
+use crate::splitmix::SplitMix64;
+use crate::{RngCore, SeedableRng};
+
+/// The xoshiro256\*\* generator. See the crate docs for the seeding and
+/// stream-stability contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s == [0; 4] {
+            // The all-zero state is the one fixed point; remap it the
+            // same way a zero u64 seed is expanded.
+            return Self::seed_from_u64(0);
+        }
+        Xoshiro256StarStar { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64::new(state);
+        // SplitMix64 output is equidistributed, so the expanded state is
+        // never all-zero in practice (and never for any u64 seed).
+        Xoshiro256StarStar {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The frozen stream: first outputs for representative seeds,
+    /// cross-checked against an independent Python implementation of the
+    /// reference C code. If this test ever fails, the PRNG stream
+    /// changed and every recorded experiment in EXPERIMENTS.md is
+    /// invalidated — do not "fix" the expected values without bumping
+    /// the experiment corpus.
+    #[test]
+    fn golden_sequence_is_frozen() {
+        let expect: [(u64, [u64; 5]); 4] = [
+            (
+                0,
+                [
+                    0x99EC_5F36_CB75_F2B4,
+                    0xBF6E_1F78_4956_452A,
+                    0x1A5F_849D_4933_E6E0,
+                    0x6AA5_94F1_262D_2D2C,
+                    0xBBA5_AD4A_1F84_2E59,
+                ],
+            ),
+            (
+                1,
+                [
+                    0xB3F2_AF6D_0FC7_10C5,
+                    0x853B_5596_4736_4CEA,
+                    0x92F8_9756_082A_4514,
+                    0x642E_1C7B_C266_A3A7,
+                    0xB27A_48E2_9A23_3673,
+                ],
+            ),
+            (
+                42,
+                [
+                    0x1578_0B2E_0C2E_C716,
+                    0x6104_D986_6D11_3A7E,
+                    0xAE17_5332_39E4_99A1,
+                    0xECB8_AD47_03B3_60A1,
+                    0xFDE6_DC7F_E2EC_5E64,
+                ],
+            ),
+            (
+                2024,
+                [
+                    0x0E48_715A_13D7_772E,
+                    0xC837_F3EE_8A7A_1065,
+                    0x1272_314B_15EE_5001,
+                    0x28E3_23A6_ABE2_A46B,
+                    0xC60D_F3B2_6166_0AA7,
+                ],
+            ),
+        ];
+        for (seed, outputs) in expect {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            for (i, want) in outputs.into_iter().enumerate() {
+                assert_eq!(rng.next_u64(), want, "seed {seed}, draw {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_seed_roundtrips_the_state_words() {
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut a = Xoshiro256StarStar::from_seed(seed);
+        let mut b = Xoshiro256StarStar::from_seed(seed);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn all_zero_seed_is_remapped_not_stuck() {
+        let mut rng = Xoshiro256StarStar::from_seed([0u8; 32]);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert!(a != 0 || b != 0, "all-zero state must not be a fixed point");
+        let mut canonical = Xoshiro256StarStar::seed_from_u64(0);
+        assert_eq!(a, canonical.next_u64());
+    }
+
+    #[test]
+    fn nearby_seeds_produce_decorrelated_streams() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(7);
+        let mut b = Xoshiro256StarStar::seed_from_u64(8);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Statistical sanity for the in-repo PRNG: the Monte Carlo machinery in
+//! `vapp-sim` (paper §6.4) assumes uniform, decorrelated draws, so the
+//! generator itself is held to mean/variance and chi-squared tolerances
+//! here. Failures here invalidate every experiment downstream.
+
+use vapp_rand::rngs::StdRng;
+use vapp_rand::{RngCore, RngExt, SeedableRng};
+
+#[test]
+fn cross_seed_determinism() {
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn distinct_seeds_distinct_streams() {
+    let mut outputs: Vec<u64> = (0..64u64)
+        .map(|seed| StdRng::seed_from_u64(seed).next_u64())
+        .collect();
+    outputs.sort_unstable();
+    outputs.dedup();
+    assert_eq!(outputs.len(), 64, "first draws must differ across seeds");
+}
+
+#[test]
+fn unit_floats_have_uniform_mean_and_variance() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let n = 100_000;
+    let samples: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    // Uniform(0,1): mean 1/2 (se ~ 0.0009), variance 1/12 (~0.0833).
+    assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    assert!((var - 1.0 / 12.0).abs() < 0.005, "variance {var}");
+    assert!(samples.iter().all(|&x| (0.0..1.0).contains(&x)));
+}
+
+#[test]
+fn random_bool_tracks_probability() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for &p in &[0.01, 0.25, 0.5, 0.9] {
+        let n = 100_000u32;
+        let hits = (0..n).filter(|_| rng.random_bool(p)).count() as f64;
+        let expect = p * n as f64;
+        // Five standard deviations of Binomial(n, p).
+        let tol = 5.0 * (n as f64 * p * (1.0 - p)).sqrt();
+        assert!(
+            (hits - expect).abs() < tol,
+            "p={p}: {hits} hits, expected {expect} ± {tol}"
+        );
+    }
+}
+
+#[test]
+fn random_range_is_uniform_by_chi_squared() {
+    // 16 buckets over 100k draws: df = 15, chi² < 37.7 at p = 0.999.
+    let mut rng = StdRng::seed_from_u64(13);
+    let buckets = 16usize;
+    let n = 100_000;
+    let mut counts = vec![0u64; buckets];
+    for _ in 0..n {
+        counts[rng.random_range(0..buckets)] += 1;
+    }
+    let expect = n as f64 / buckets as f64;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 - expect).powi(2) / expect)
+        .sum();
+    assert!(chi2 < 37.7, "chi² {chi2} over {counts:?}");
+}
+
+#[test]
+fn byte_output_is_uniform_by_chi_squared() {
+    // 256 buckets over 1M bytes: df = 255, chi² < 330.5 at p = 0.999.
+    let mut rng = StdRng::seed_from_u64(14);
+    let mut bytes = vec![0u8; 1 << 20];
+    rng.fill_bytes(&mut bytes);
+    let mut counts = [0u64; 256];
+    for &b in &bytes {
+        counts[b as usize] += 1;
+    }
+    let expect = bytes.len() as f64 / 256.0;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 - expect).powi(2) / expect)
+        .sum();
+    assert!(chi2 < 330.5, "chi² {chi2}");
+}
+
+#[test]
+fn bit_balance_across_all_64_positions() {
+    // Every output bit position must be ~50% set (the ** scrambler's
+    // claim); 100k draws give se ~ 158, allow 5 se.
+    let mut rng = StdRng::seed_from_u64(15);
+    let n = 100_000u64;
+    let mut ones = [0u64; 64];
+    for _ in 0..n {
+        let x = rng.next_u64();
+        for (bit, count) in ones.iter_mut().enumerate() {
+            *count += (x >> bit) & 1;
+        }
+    }
+    let tol = 5.0 * (n as f64 * 0.25).sqrt();
+    for (bit, &count) in ones.iter().enumerate() {
+        assert!(
+            (count as f64 - n as f64 / 2.0).abs() < tol,
+            "bit {bit}: {count} ones of {n}"
+        );
+    }
+}
+
+#[test]
+fn lagged_autocorrelation_is_negligible() {
+    let mut rng = StdRng::seed_from_u64(16);
+    let n = 50_000;
+    let xs: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    for lag in [1usize, 2, 7, 64] {
+        let cov: f64 = xs.windows(lag + 1).map(|w| w[0] * w[lag]).sum::<f64>() / (n - lag) as f64;
+        // Var = 1/12; normalized autocorrelation under 5/sqrt(n).
+        let rho = cov * 12.0;
+        assert!(
+            rho.abs() < 5.0 / (n as f64).sqrt(),
+            "lag {lag}: autocorrelation {rho}"
+        );
+    }
+}

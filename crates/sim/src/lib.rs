@@ -14,18 +14,18 @@
 //!
 //! ```
 //! use vapp_sim::{pick_positions, Trials};
-//! use rand::SeedableRng;
+//! use vapp_rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = vapp_rand::rngs::StdRng::seed_from_u64(1);
 //! let flips = pick_positions(&[0..10_000], 1e-2, &mut rng);
 //! assert!(!flips.is_empty());
 //! assert!(flips.iter().all(|&p| p < 10_000));
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::collections::BTreeSet;
 use std::ops::Range;
+use vapp_rand::rngs::StdRng;
+use vapp_rand::{RngExt, SeedableRng};
 
 /// The paper's trial count per (video, error-rate) point.
 pub const DEFAULT_TRIALS: usize = 30;
@@ -205,7 +205,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 100_000u64;
         let rate = 1e-3;
-        let counts: Vec<u64> = (0..200).map(|_| sample_flip_count(n, rate, &mut rng)).collect();
+        let counts: Vec<u64> = (0..200)
+            .map(|_| sample_flip_count(n, rate, &mut rng))
+            .collect();
         assert!(binomial_mean_check(&counts, n, rate, 4.0));
     }
 
@@ -214,7 +216,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let n = 1_000_000u64;
         let rate = 1e-3; // λ = 1000 → normal path
-        let counts: Vec<u64> = (0..100).map(|_| sample_flip_count(n, rate, &mut rng)).collect();
+        let counts: Vec<u64> = (0..100)
+            .map(|_| sample_flip_count(n, rate, &mut rng))
+            .collect();
         assert!(binomial_mean_check(&counts, n, rate, 4.0));
     }
 

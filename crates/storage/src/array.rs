@@ -9,11 +9,13 @@
 
 use crate::bits::BitBuf;
 use crate::mlc::{gray, MlcSubstrate};
-use rand::rngs::StdRng;
+use vapp_rand::rngs::StdRng;
 
 /// Inverse Gray code (3-bit domain is tiny; search is fine and obvious).
 fn gray_inverse(levels: u8, g: u8) -> u8 {
-    (0..levels).find(|&i| gray(i) == g).expect("gray code is a bijection")
+    (0..levels)
+        .find(|&i| gray(i) == g)
+        .expect("gray code is a bijection")
 }
 
 /// A written cell array holding one bit stream.
@@ -88,7 +90,7 @@ impl CellArray {
 mod tests {
     use super::*;
     use crate::mlc::{MlcConfig, DEFAULT_SCRUB_DAYS, TARGET_RAW_BER};
-    use rand::SeedableRng;
+    use vapp_rand::SeedableRng;
 
     fn pattern(bits: usize) -> BitBuf {
         let mut b = BitBuf::zeroed(bits);
@@ -147,7 +149,9 @@ mod tests {
         let data = pattern(100_000);
         let array = CellArray::write(&substrate, &data);
         let mut rng = StdRng::seed_from_u64(3);
-        let early = array.read(&substrate, 1.0, &mut rng).hamming_distance(&data);
+        let early = array
+            .read(&substrate, 1.0, &mut rng)
+            .hamming_distance(&data);
         let late = array
             .read(&substrate, 10.0 * DEFAULT_SCRUB_DAYS, &mut rng)
             .hamming_distance(&data);
@@ -170,7 +174,9 @@ mod tests {
         let mut array = CellArray::write(&substrate, &data);
         array.scrub(&substrate, &data);
         let mut rng = StdRng::seed_from_u64(4);
-        let after = array.read(&substrate, 1.0, &mut rng).hamming_distance(&data);
+        let after = array
+            .read(&substrate, 1.0, &mut rng)
+            .hamming_distance(&data);
         // Fresh write at t=1 day: far below the scrub-time error count.
         let at_scrub = array
             .read(&substrate, DEFAULT_SCRUB_DAYS, &mut rng)

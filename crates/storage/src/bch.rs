@@ -318,7 +318,9 @@ mod tests {
         let mut d = BitBuf::zeroed(DATA_BITS);
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         for i in 0..DATA_BITS {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             d.set(i, (s >> 60) & 1 == 1);
         }
         d

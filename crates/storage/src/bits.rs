@@ -125,7 +125,7 @@ impl BitBuf {
 
     /// Appends one bit.
     pub fn push(&mut self, v: bool) {
-        if self.len % 8 == 0 {
+        if self.len.is_multiple_of(8) {
             self.bytes.push(0);
         }
         self.len += 1;
@@ -161,7 +161,7 @@ impl BitBuf {
         for (i, (a, b)) in self.bytes.iter().zip(&other.bytes).enumerate() {
             let mut x = a ^ b;
             // Mask out padding bits in the final byte.
-            if i == self.bytes.len() - 1 && self.len % 8 != 0 {
+            if i == self.bytes.len() - 1 && !self.len.is_multiple_of(8) {
                 x &= (1u8 << (self.len % 8)) - 1;
             }
             d += x.count_ones() as usize;

@@ -23,7 +23,10 @@ pub fn cells_per_pixel(total_cells: f64, pixels: u64) -> f64 {
 /// Density of design A relative to design B (e.g. "2.57x higher density
 /// compared to SLC" means `relative_density(mlc_cells, slc_cells) = 2.57`).
 pub fn relative_density(cells_a: f64, cells_b: f64) -> f64 {
-    assert!(cells_a > 0.0 && cells_b > 0.0, "cell counts must be positive");
+    assert!(
+        cells_a > 0.0 && cells_b > 0.0,
+        "cell counts must be positive"
+    );
     cells_b / cells_a
 }
 

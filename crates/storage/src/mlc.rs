@@ -10,8 +10,8 @@
 //! per-level error rates, and the noise figure is calibrated so the raw
 //! bit error rate at a 3-month scrub is ≈ 1e-3.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use vapp_rand::rngs::StdRng;
+use vapp_rand::RngExt;
 
 /// Default scrubbing (refresh) interval: three months (paper §6.2).
 pub const DEFAULT_SCRUB_DAYS: f64 = 90.0;
@@ -139,7 +139,10 @@ impl MlcSubstrate {
     ///
     /// Panics if the target is unreachable within the search bracket.
     pub fn tuned_for_ber(mut cfg: MlcConfig, target: f64) -> Self {
-        assert!(target > 0.0 && target < 0.5, "target BER must be in (0, 0.5)");
+        assert!(
+            target > 0.0 && target < 0.5,
+            "target BER must be in (0, 0.5)"
+        );
         let (mut lo, mut hi) = (1e-4, 0.5);
         for _ in 0..80 {
             let mid = (lo + hi) / 2.0;
@@ -178,6 +181,7 @@ impl MlcSubstrate {
 
     /// Probability matrix `P[i][j]` of reading level `j` after writing
     /// level `i` and waiting `t_days`.
+    #[allow(clippy::needless_range_loop)] // level indices i, j are the semantics
     pub fn level_error_matrix(&self, t_days: f64) -> Vec<Vec<f64>> {
         let l = self.cfg.levels as usize;
         let mut m = vec![vec![0.0; l]; l];
@@ -212,6 +216,7 @@ impl MlcSubstrate {
 
     /// Analytic raw bit error rate after `t_days`, assuming uniformly
     /// distributed stored levels and Gray-coded bits.
+    #[allow(clippy::needless_range_loop)] // level indices i, j are the semantics
     pub fn raw_ber(&self, t_days: f64) -> f64 {
         let l = self.cfg.levels as usize;
         let bits = self.bits_per_cell() as f64;
@@ -291,7 +296,7 @@ impl SlcSubstrate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use vapp_rand::SeedableRng;
 
     #[test]
     fn gray_codes_differ_by_one_bit_between_neighbors() {

@@ -55,7 +55,9 @@ pub fn suite(width: usize, height: usize, frames: usize) -> Vec<NamedClip> {
     assert!(frames > 0, "suite needs at least one frame");
     let mk = |name, kind, seed| NamedClip {
         name,
-        video: ClipSpec::new(width, height, frames, kind).seed(seed).generate(),
+        video: ClipSpec::new(width, height, frames, kind)
+            .seed(seed)
+            .generate(),
     };
     vec![
         mk("blocks_slow", SceneKind::MovingBlocks, 11),

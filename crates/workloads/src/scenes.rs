@@ -1,9 +1,9 @@
 //! Scene generators.
 
 use crate::texture::ValueNoise;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use vapp_media::{Frame, Video};
+use vapp_rand::rngs::StdRng;
+use vapp_rand::{RngExt, SeedableRng};
 
 /// The kind of synthetic scene to generate.
 ///
@@ -180,8 +180,7 @@ impl ClipSpec {
                     let dx = x as f64 - cx;
                     let dy = y as f64 - cy;
                     if dx.abs() < s.w / 2.0 && dy.abs() < s.h / 2.0 {
-                        let tex =
-                            sprite_tex.sample(dx + scene_off, dy + scene_off * 0.3) * 40.0;
+                        let tex = sprite_tex.sample(dx + scene_off, dy + scene_off * 0.3) * 40.0;
                         v = base * 0.4 + 90.0 + s.shade + tex;
                     }
                 }
@@ -247,19 +246,30 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = ClipSpec::new(32, 24, 3, SceneKind::MovingBlocks).seed(5).generate();
-        let b = ClipSpec::new(32, 24, 3, SceneKind::MovingBlocks).seed(5).generate();
+        let a = ClipSpec::new(32, 24, 3, SceneKind::MovingBlocks)
+            .seed(5)
+            .generate();
+        let b = ClipSpec::new(32, 24, 3, SceneKind::MovingBlocks)
+            .seed(5)
+            .generate();
         assert_eq!(a, b);
-        let c = ClipSpec::new(32, 24, 3, SceneKind::MovingBlocks).seed(6).generate();
+        let c = ClipSpec::new(32, 24, 3, SceneKind::MovingBlocks)
+            .seed(6)
+            .generate();
         assert_ne!(a, c);
     }
 
     #[test]
     fn panning_scene_actually_moves() {
-        let v = ClipSpec::new(48, 32, 4, SceneKind::Panning).noise_level(0.0).generate();
+        let v = ClipSpec::new(48, 32, 4, SceneKind::Panning)
+            .noise_level(0.0)
+            .generate();
         let first = v.get(0).unwrap();
         let last = v.get(3).unwrap();
-        assert!(first.plane().sse(last.plane()) > 0, "pan produced static frames");
+        assert!(
+            first.plane().sse(last.plane()) > 0,
+            "pan produced static frames"
+        );
     }
 
     #[test]
@@ -280,11 +290,7 @@ mod tests {
             .generate();
         let cut_period = 24usize.max(frames / 4);
         // Compare across the first cut against within-scene difference.
-        let within = v
-            .get(0)
-            .unwrap()
-            .plane()
-            .sse(v.get(1).unwrap().plane());
+        let within = v.get(0).unwrap().plane().sse(v.get(1).unwrap().plane());
         let across = v
             .get(cut_period - 1)
             .unwrap()

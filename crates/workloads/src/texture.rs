@@ -5,8 +5,8 @@
 //! [`ValueNoise`] produces smooth, band-limited 2D noise by bilinear
 //! interpolation of a seeded random lattice at several octaves.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use vapp_rand::rngs::StdRng;
+use vapp_rand::{RngExt, SeedableRng};
 
 /// A deterministic 2D value-noise field.
 ///

@@ -10,20 +10,20 @@
 //! cargo run --release --example encrypted_vault
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vapp_codec::{decode, Encoder, EncoderConfig};
 use vapp_crypto::CipherMode;
 use vapp_metrics::video_psnr;
+use vapp_rand::rngs::StdRng;
+use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
-use videoapp::{
-    merge_streams, split_streams, DependencyGraph, ImportanceMap, PivotTable,
-};
+use videoapp::{merge_streams, split_streams, DependencyGraph, ImportanceMap, PivotTable};
 
 fn main() {
     let key = [0xD2u8; 16];
     let master_iv = [0x31u8; 16];
-    let video = ClipSpec::new(160, 96, 36, SceneKind::Panning).seed(88).generate();
+    let video = ClipSpec::new(160, 96, 36, SceneKind::Panning)
+        .seed(88)
+        .generate();
     let result = Encoder::new(EncoderConfig::default()).encode(&video);
     let importance = ImportanceMap::compute(&DependencyGraph::from_analysis(&result.analysis));
     let table = PivotTable::build(&result.analysis, &importance, &[8.0, 128.0]);
@@ -46,7 +46,10 @@ fn main() {
         let byte = (pos / 8) as usize;
         protected.level_data[0][byte] ^= 1 << (7 - (pos % 8));
     }
-    println!("injected {} bit flips into the level-0 ciphertext", flips.len());
+    println!(
+        "injected {} bit flips into the level-0 ciphertext",
+        flips.len()
+    );
 
     // Decrypt, merge, decode.
     protected.decrypt(CipherMode::Ctr, &key, &master_iv);
@@ -54,7 +57,10 @@ fn main() {
     let decoded = decode(&merged);
     let base = video_psnr(&video, &result.reconstruction);
     let got = video_psnr(&video, &decoded);
-    println!("quality: {got:.2} dB vs {base:.2} dB error-free ({:+.2} dB)", got - base);
+    println!(
+        "quality: {got:.2} dB vs {base:.2} dB error-free ({:+.2} dB)",
+        got - base
+    );
 
     // Requirement #3 check: the same flips on *plaintext* streams cost the
     // same quality.

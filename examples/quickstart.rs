@@ -4,21 +4,24 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vapp_codec::{decode, Encoder, EncoderConfig};
 use vapp_metrics::video_psnr;
+use vapp_rand::rngs::StdRng;
+use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
-use videoapp::{
-    ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy,
-};
+use videoapp::{ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy};
 
 fn main() {
     // 1. A raw clip (stand-in for camera footage).
     let video = ClipSpec::new(160, 96, 48, SceneKind::MovingBlocks)
         .seed(42)
         .generate();
-    println!("raw video: {}x{}x{} frames", video.width(), video.height(), video.len());
+    println!(
+        "raw video: {}x{}x{} frames",
+        video.width(),
+        video.height(),
+        video.len()
+    );
 
     // 2. Encode with dependency recording (H.264-style, CABAC).
     let encoder = Encoder::new(EncoderConfig::default());

@@ -10,22 +10,28 @@
 //! cargo run --release --example surveillance_archive
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vapp_codec::{decode, Encoder, EncoderConfig};
 use vapp_metrics::video_psnr;
+use vapp_rand::rngs::StdRng;
+use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
-use videoapp::{
-    ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy,
-};
+use videoapp::{ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy};
 
 fn main() {
     let feed = ClipSpec::new(160, 96, 72, SceneKind::LocalMotion)
         .seed(1207)
         .generate();
-    println!("camera feed: {}x{}, {} frames", feed.width(), feed.height(), feed.len());
+    println!(
+        "camera feed: {}x{}, {} frames",
+        feed.width(),
+        feed.height(),
+        feed.len()
+    );
     println!();
-    println!("{:>5}  {:>10}  {:>10}  {:>9}  {:>9}  {:>9}", "CRF", "bits/px", "cells/px", "vs SLC", "vs unif.", "PSNR dB");
+    println!(
+        "{:>5}  {:>10}  {:>10}  {:>9}  {:>9}  {:>9}",
+        "CRF", "bits/px", "cells/px", "vs SLC", "vs unif.", "PSNR dB"
+    );
 
     for crf in [20u8, 26, 32] {
         let result = Encoder::new(EncoderConfig {

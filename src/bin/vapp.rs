@@ -12,15 +12,13 @@
 use std::collections::VecDeque;
 use std::process::ExitCode;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vapp_codec::{decode, EncodedVideo, Encoder, EncoderConfig, EntropyMode};
 use vapp_media::Video;
 use vapp_metrics::video_psnr;
+use vapp_rand::rngs::StdRng;
+use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
-use videoapp::{
-    ApproxStore, EcScheme, ImportanceMap, PivotTable, StoragePolicy, VideoApp,
-};
+use videoapp::{ApproxStore, EcScheme, ImportanceMap, PivotTable, StoragePolicy, VideoApp};
 
 fn main() -> ExitCode {
     let mut args: VecDeque<String> = std::env::args().skip(1).collect();
@@ -122,8 +120,14 @@ fn save_video(path: &str, video: &Video) -> Result<(), String> {
 }
 
 fn cmd_generate(args: VecDeque<String>) -> Result<(), String> {
-    let (mut kind, mut w, mut h, mut n, mut seed, mut fps) =
-        ("blocks".to_string(), 160usize, 96usize, 48usize, 0u64, 50.0f64);
+    let (mut kind, mut w, mut h, mut n, mut seed, mut fps) = (
+        "blocks".to_string(),
+        160usize,
+        96usize,
+        48usize,
+        0u64,
+        50.0f64,
+    );
     let positional = parse_flags(args, |name, v| {
         match name {
             "kind" => kind = v.ok_or("--kind needs a value")?.to_string(),
@@ -289,7 +293,10 @@ fn cmd_store(args: VecDeque<String>) -> Result<(), String> {
     println!("raw BER {raw_ber:.1e} on 8-level MLC PCM:");
     println!("  cells/pixel:        {:.4}", report.cells_per_pixel());
     println!("  density vs SLC:     {:.2}x", report.density_vs_slc());
-    println!("  saved vs uniform:   {:.1}%", report.savings_vs_uniform() * 100.0);
+    println!(
+        "  saved vs uniform:   {:.1}%",
+        report.savings_vs_uniform() * 100.0
+    );
     println!(
         "  EC overhead cut:    {:.0}%",
         report.ec_overhead_reduction() * 100.0

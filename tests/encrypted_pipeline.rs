@@ -40,12 +40,8 @@ fn encrypt_decrypt_is_lossless_for_compatible_modes() {
 fn ciphertext_flips_equal_plaintext_flips_requirement_3() {
     let (result, table) = setup();
     // Identical flip pattern applied to ciphertext vs plaintext.
-    let flips: Vec<(usize, usize, u8)> = vec![
-        (0, 3, 0x10),
-        (0, 97, 0x01),
-        (1, 11, 0x80),
-        (2, 0, 0x04),
-    ];
+    let flips: Vec<(usize, usize, u8)> =
+        vec![(0, 3, 0x10), (0, 97, 0x01), (1, 11, 0x80), (2, 0, 0x04)];
     for mode in [CipherMode::Ofb, CipherMode::Ctr] {
         let mut encrypted = split_streams(&result.stream, &table);
         encrypted.encrypt(mode, &KEY, &IV);
@@ -64,7 +60,10 @@ fn ciphertext_flips_equal_plaintext_flips_requirement_3() {
             }
         }
         let via_plaintext = decode(&merge_streams(&result.stream, &table, &plain));
-        assert_eq!(via_ciphertext, via_plaintext, "{mode:?} must be transparent");
+        assert_eq!(
+            via_ciphertext, via_plaintext,
+            "{mode:?} must be transparent"
+        );
     }
 }
 

@@ -1,10 +1,10 @@
 //! End-to-end integration: encode → analyse → assign → store → corrupt →
 //! correct → decode → measure, across crates.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vapp_codec::{decode, Encoder, EncoderConfig};
 use vapp_metrics::video_psnr;
+use vapp_rand::rngs::StdRng;
+use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
 use videoapp::{
     ApproxStore, Assignment, DependencyGraph, EcScheme, ImportanceMap, LossCurve, PivotTable,
@@ -54,7 +54,11 @@ fn full_pipeline_stays_within_quality_budget() {
     );
 
     let report = store.report(&result.stream, &table, video.total_pixels() as u64);
-    assert!(report.density_vs_slc() > 2.0, "density {}", report.density_vs_slc());
+    assert!(
+        report.density_vs_slc() > 2.0,
+        "density {}",
+        report.density_vs_slc()
+    );
     assert!(report.ec_overhead_reduction() > 0.3);
 }
 
@@ -72,7 +76,11 @@ fn assignment_driven_policy_round_trips() {
         .enumerate()
         .map(|(i, _)| {
             let knee = 10f64.powf(-(0.5 * i as f64 + 2.0));
-            LossCurve::new(vec![(knee * 1e-2, -0.01), (knee, -0.2), (knee * 100.0, -6.0)])
+            LossCurve::new(vec![
+                (knee * 1e-2, -0.01),
+                (knee, -0.2),
+                (knee * 100.0, -6.0),
+            ])
         })
         .collect();
     let assignment = Assignment::compute(&class_meta, &curves, QUALITY_BUDGET_DB, 1e-3);
@@ -102,6 +110,38 @@ fn streaming_importance_allows_gop_local_processing() {
     for (a, b) in global.values().iter().zip(streaming.values()) {
         assert!((a - b).abs() < 1e-6);
     }
+}
+
+/// Tier-2 soak: the quality-budget invariant over a much larger Monte
+/// Carlo sample, with the exact (polynomial) BCH decoder engaged.
+///
+/// Run with `cargo test -- --ignored` (CI tier-2 job).
+#[test]
+#[ignore = "tier-2 soak: ~minutes of Monte Carlo; run via `cargo test -- --ignored`"]
+fn soak_quality_budget_many_trials_exact_bch() {
+    let (video, result) = encode_clip();
+    let importance = ImportanceMap::compute(&DependencyGraph::from_analysis(&result.analysis));
+    let thresholds = vec![16.0, 256.0];
+    let table = PivotTable::build(&result.analysis, &importance, &thresholds);
+    let store = ApproxStore::new(StoragePolicy {
+        ladder_levels: vec![EcScheme::Bch(6), EcScheme::Bch(8), EcScheme::Bch(10)],
+        thresholds,
+        raw_ber: 1e-3,
+        exact_bch: true,
+    });
+
+    let base = video_psnr(&video, &result.reconstruction);
+    let mut worst = 0.0f64;
+    for t in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0000 + t);
+        let loaded = store.store_load(&result.stream, &table, &mut rng);
+        let decoded = decode(&loaded);
+        worst = worst.min(video_psnr(&video, &decoded) - base);
+    }
+    assert!(
+        worst >= -QUALITY_BUDGET_DB,
+        "quality change {worst} dB exceeds the 0.3 dB budget over 40 trials"
+    );
 }
 
 #[test]

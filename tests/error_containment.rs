@@ -6,7 +6,9 @@ use vapp_metrics::frame_psnr;
 use vapp_workloads::{ClipSpec, SceneKind};
 
 fn clip() -> vapp_media::Video {
-    ClipSpec::new(96, 64, 16, SceneKind::Panning).seed(21).generate()
+    ClipSpec::new(96, 64, 16, SceneKind::Panning)
+        .seed(21)
+        .generate()
 }
 
 #[test]
@@ -31,12 +33,7 @@ fn damage_never_crosses_i_frame_boundaries() {
     }
     let decoded = decode(&dirty);
 
-    for (d, (clean, got)) in result
-        .reconstruction
-        .iter()
-        .zip(decoded.iter())
-        .enumerate()
-    {
+    for (d, (clean, got)) in result.reconstruction.iter().zip(decoded.iter()).enumerate() {
         let in_damaged_gop = (1..4).contains(&d);
         if in_damaged_gop {
             continue; // may or may not be visibly damaged
@@ -73,12 +70,7 @@ fn b_frame_damage_stays_in_that_frame() {
         *b = b.wrapping_add(0x3C);
     }
     let decoded = decode(&dirty);
-    for (d, (clean, got)) in result
-        .reconstruction
-        .iter()
-        .zip(decoded.iter())
-        .enumerate()
-    {
+    for (d, (clean, got)) in result.reconstruction.iter().zip(decoded.iter()).enumerate() {
         if d == display {
             assert_ne!(clean, got, "the B frame itself must be damaged");
         } else {
@@ -146,9 +138,19 @@ fn single_flip_damage_grows_toward_frame_start() {
     let mut early_total = 0.0;
     let mut late_total = 0.0;
     let mut n = 0;
-    for f in result.analysis.frames.iter().filter(|f| f.frame_type == FrameType::P) {
+    for f in result
+        .analysis
+        .frames
+        .iter()
+        .filter(|f| f.frame_type == FrameType::P)
+    {
         let first = &f.mbs[0];
-        let last = f.mbs.iter().rev().find(|m| m.bits() > 0).expect("nonempty frame");
+        let last = f
+            .mbs
+            .iter()
+            .rev()
+            .find(|m| m.bits() > 0)
+            .expect("nonempty frame");
         for (mb, acc) in [(first, &mut early_total), (last, &mut late_total)] {
             let mut dirty = result.stream.clone();
             videoapp::pipeline::flip_global_bits(
