@@ -1,0 +1,209 @@
+//! Compares a `BENCH_<group>.json` run against a committed baseline and
+//! fails (exit 1) on per-bench median regressions beyond a threshold.
+//!
+//! ```text
+//! bench_compare BASELINE.json CURRENT.json [--threshold 0.25]
+//! ```
+//!
+//! Raw medians are machine-dependent, so absolute comparison against a
+//! committed baseline would flag every slower CI runner. Instead the
+//! comparison is *normalized*: the per-bench ratio `current / baseline`
+//! is divided by the median ratio across all shared benches (the "machine
+//! factor" — how much slower this machine is overall). A bench regresses
+//! only when its ratio exceeds `(1 + threshold) x machine factor`, i.e.
+//! when it slowed down relative to its group, which survives arbitrary
+//! uniform machine-speed differences.
+
+use std::process::ExitCode;
+use vapp_obs::json::Value;
+
+struct Row {
+    name: String,
+    base_ns: f64,
+    cur_ns: f64,
+    ratio: f64,
+}
+
+fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = Value::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let results = v
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: no `results` array"))?;
+    let mut out = Vec::new();
+    for r in results {
+        let name = r
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: result without `name`"))?;
+        let median = r
+            .get("median_ns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}: `{name}` without `median_ns`"))?;
+        if median > 0.0 {
+            out.push((name.to_string(), median));
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no usable results"));
+    }
+    Ok(out)
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.total_cmp(b));
+    values[values.len() / 2]
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.25f64;
+    let mut paths = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            threshold = it
+                .next()
+                .ok_or("--threshold needs a value")?
+                .parse()
+                .map_err(|_| "--threshold: invalid value".to_string())?;
+        } else {
+            paths.push(a);
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        return Err("usage: bench_compare BASELINE.json CURRENT.json [--threshold 0.25]".into());
+    };
+
+    let base = load_medians(baseline)?;
+    let cur = load_medians(current)?;
+    let mut rows = Vec::new();
+    for (name, base_ns) in &base {
+        if let Some((_, cur_ns)) = cur.iter().find(|(n, _)| n == name) {
+            rows.push(Row {
+                name: name.clone(),
+                base_ns: *base_ns,
+                cur_ns: *cur_ns,
+                ratio: cur_ns / base_ns,
+            });
+        } else {
+            println!("bench-compare: `{name}` missing from current run (skipped)");
+        }
+    }
+    if rows.is_empty() {
+        return Err("no benches shared between baseline and current run".into());
+    }
+
+    let mut ratios: Vec<f64> = rows.iter().map(|r| r.ratio).collect();
+    let machine_factor = median(&mut ratios);
+    let limit = (1.0 + threshold) * machine_factor;
+    println!(
+        "bench-compare: {} benches, machine factor {machine_factor:.3}, \
+         regression limit {limit:.3}x baseline",
+        rows.len()
+    );
+
+    let mut regressed = false;
+    for r in &rows {
+        let verdict = if r.ratio > limit {
+            regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<28} base {:>12.0} ns  cur {:>12.0} ns  ratio {:>6.3}  {verdict}",
+            r.name, r.base_ns, r.cur_ns, r.ratio
+        );
+    }
+    Ok(regressed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => {
+            eprintln!("bench-compare: median regression beyond threshold detected");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-compare: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_bench(dir: &std::path::Path, name: &str, medians: &[(&str, f64)]) -> String {
+        let results: Vec<String> = medians
+            .iter()
+            .map(|(n, m)| format!("{{\"name\":\"{n}\",\"median_ns\":{m}}}"))
+            .collect();
+        let json = format!("{{\"group\":\"t\",\"results\":[{}]}}", results.join(","));
+        let path = dir.join(name);
+        std::fs::write(&path, json).expect("write");
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn uniform_slowdown_is_not_a_regression() {
+        let dir = std::env::temp_dir().join("vapp-bench-compare-test-1");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let base = write_bench(
+            &dir,
+            "base.json",
+            &[("a", 100.0), ("b", 200.0), ("c", 50.0)],
+        );
+        // The whole machine is 3x slower: every ratio is 3, the machine
+        // factor is 3, and nothing exceeds 1.25 x 3.
+        let cur = write_bench(
+            &dir,
+            "cur.json",
+            &[("a", 300.0), ("b", 600.0), ("c", 150.0)],
+        );
+        let b = load_medians(&base).expect("base");
+        let c = load_medians(&cur).expect("cur");
+        let mut ratios: Vec<f64> = b.iter().zip(&c).map(|((_, bm), (_, cm))| cm / bm).collect();
+        let factor = median(&mut ratios);
+        assert!((factor - 3.0).abs() < 1e-12);
+        assert!(ratios.iter().all(|&r| r <= 1.25 * factor));
+    }
+
+    #[test]
+    fn single_bench_blowup_is_flagged() {
+        let dir = std::env::temp_dir().join("vapp-bench-compare-test-2");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let base = write_bench(
+            &dir,
+            "base.json",
+            &[("a", 100.0), ("b", 200.0), ("c", 50.0)],
+        );
+        let cur = write_bench(
+            &dir,
+            "cur.json",
+            &[("a", 100.0), ("b", 200.0), ("c", 500.0)],
+        );
+        let b = load_medians(&base).expect("base");
+        let c = load_medians(&cur).expect("cur");
+        let ratios: Vec<f64> = b.iter().zip(&c).map(|((_, bm), (_, cm))| cm / bm).collect();
+        let mut sorted = ratios.clone();
+        let factor = median(&mut sorted);
+        assert!((factor - 1.0).abs() < 1e-12);
+        assert!(ratios.iter().any(|&r| r > 1.25 * factor));
+    }
+
+    #[test]
+    fn medians_load_and_reject_garbage() {
+        let dir = std::env::temp_dir().join("vapp-bench-compare-test-3");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let good = write_bench(&dir, "good.json", &[("x", 10.0)]);
+        assert_eq!(load_medians(&good).expect("good"), vec![("x".into(), 10.0)]);
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "not json").expect("write");
+        assert!(load_medians(&bad.to_string_lossy()).is_err());
+    }
+}

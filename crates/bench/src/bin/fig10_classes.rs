@@ -59,7 +59,7 @@ fn main() {
                 loss[ei][ri] = loss[ei][ri].min(curve.loss_at(r));
             }
         }
-        eprintln!("  [{}] done", p.name);
+        vapp_obs::info!("bench.fig10.clip", "[{}] done", p.name);
     }
 
     println!("(a) cumulative worst quality change (dB); class i = importance <= 2^i:");

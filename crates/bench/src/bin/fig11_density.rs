@@ -99,7 +99,10 @@ fn main() {
                 h.3 = worst_delta;
             }
         }
-        eprintln!("  [crf {crf}] worst quality delta: {worst_delta:.3} dB");
+        vapp_obs::info!(
+            "bench.fig11.crf",
+            "[crf {crf}] worst quality delta: {worst_delta:.3} dB"
+        );
     }
 
     if let Some((ec_cut, vs_slc, vs_uniform, worst)) = headline {

@@ -39,7 +39,7 @@ fn main() {
                 per_bin[b.index][ri] = per_bin[b.index][ri].min(curve.loss_at(r));
             }
         }
-        eprintln!("  [{}] done", p.name);
+        vapp_obs::info!("bench.fig9.clip", "[{}] done", p.name);
     }
 
     // (a) loss table: rows = rates, columns = bins.

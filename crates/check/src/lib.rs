@@ -85,16 +85,28 @@ pub fn check(name: &str, cases: usize, f: impl Fn(&mut StdRng)) {
     let total = cases.saturating_mul(multiplier.max(1)).max(1);
     for case in 0..total {
         let seed = case_seed(base, case);
-        let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut StdRng::seed_from_u64(seed))));
+        // Each case runs against its own observability registry: a failing
+        // case's metrics describe that case alone, and parallel test
+        // threads cannot bleed counters into each other.
+        let reg = std::sync::Arc::new(vapp_obs::Registry::new());
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            vapp_obs::registry::with_registry(reg.clone(), || f(&mut StdRng::seed_from_u64(seed)))
+        }));
         if let Err(payload) = outcome {
             let msg = payload
                 .downcast_ref::<String>()
                 .map(String::as_str)
                 .or_else(|| payload.downcast_ref::<&str>().copied())
                 .unwrap_or("<non-string panic payload>");
+            let obs = reg.snapshot().render_text(24);
+            let obs = if obs.is_empty() {
+                String::new()
+            } else {
+                format!("\nobservability snapshot of the failing case:\n{obs}")
+            };
             panic!(
                 "property `{name}` failed at case {case}/{total}:\n  {msg}\n\
-                 replay just this case with: VAPP_CHECK_SEED={seed:#x} cargo test {name}"
+                 replay just this case with: VAPP_CHECK_SEED={seed:#x} cargo test {name}{obs}"
             );
         }
     }

@@ -71,6 +71,7 @@ pub struct ArithEncoder {
     low: u64,
     high: u64,
     pending: u64,
+    bins: u64,
     writer: BitWriter,
 }
 
@@ -87,8 +88,15 @@ impl ArithEncoder {
             low: 0,
             high: MASK,
             pending: 0,
+            bins: 0,
             writer: BitWriter::new(),
         }
+    }
+
+    /// Number of bins (binary decisions) coded so far, context-coded and
+    /// bypass alike — the `codec.arith.bins` observability counter.
+    pub fn bins_coded(&self) -> u64 {
+        self.bins
     }
 
     /// Approximate number of bits produced so far (exact up to carry
@@ -119,6 +127,7 @@ impl ArithEncoder {
     }
 
     fn encode_raw(&mut self, bin: bool, p0: u64) {
+        self.bins += 1;
         let range = self.high - self.low + 1;
         let split = self.low + ((range * p0) >> PROB_BITS).clamp(1, range - 1) - 1;
         if bin {

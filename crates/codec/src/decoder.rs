@@ -44,8 +44,13 @@ pub fn decode(stream: &EncodedVideo) -> Video {
     let mut dpb: Vec<Option<Plane>> = vec![None; n];
     let mut display: Vec<Option<Frame>> = vec![None; stream.header.frame_count as usize];
 
+    let frames_total = n;
+    let _video_span = vapp_obs::span!("codec.video.decode", frames_total);
     for f in &stream.frames {
         let ci = f.header.coding_index as usize;
+        let frame_type = f.header.frame_type;
+        let _frame_span = vapp_obs::span!("codec.frame.decode", ci, frame_type);
+        vapp_obs::counter!("codec.frame.decoded");
         let ref_fwd = f.header.ref_fwd.map(|r| {
             dpb[r as usize]
                 .as_ref()

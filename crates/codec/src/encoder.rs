@@ -146,6 +146,8 @@ impl Encoder {
     /// Panics if `video` is empty.
     pub fn encode(&self, video: &Video) -> EncodeResult {
         assert!(!video.is_empty(), "cannot encode an empty video");
+        let frames_total = video.len();
+        let _video_span = vapp_obs::span!("codec.video.encode", frames_total);
         let plans = plan_gop(
             video.len(),
             self.cfg.keyint as usize,
@@ -175,10 +177,16 @@ impl Encoder {
                 ref_fwd,
                 ref_bwd,
             };
-            let out = match self.cfg.entropy {
-                EntropyMode::Cabac => encode_frame(&fctx, CabacWriter::new),
-                EntropyMode::Cavlc => encode_frame(&fctx, CavlcWriter::new),
+            let out = {
+                let coding = plan.coding;
+                let frame_type = plan.frame_type;
+                let _frame_span = vapp_obs::span!("codec.frame.encode", coding, frame_type);
+                match self.cfg.entropy {
+                    EntropyMode::Cabac => encode_frame(&fctx, CabacWriter::new),
+                    EntropyMode::Cavlc => encode_frame(&fctx, CavlcWriter::new),
+                }
             };
+            record_frame_metrics(&out);
             let header = FrameHeader {
                 coding_index: plan.coding as u32,
                 display_index: plan.display as u32,
@@ -471,6 +479,30 @@ struct FrameOut {
     slice_lens: Vec<u32>,
     recon: Plane,
     analysis: FrameAnalysis,
+    /// Entropy-coder binary decisions across all slices (observability).
+    bins: u64,
+}
+
+/// Batches one coded frame's metrics into the observability registry:
+/// macroblock mode mix, per-macroblock bit spans, payload size and
+/// entropy-coder bin count. One registry lookup per metric per frame —
+/// the per-macroblock work is plain atomic adds on hoisted handles.
+fn record_frame_metrics(out: &FrameOut) {
+    let reg = vapp_obs::current();
+    let (mut intra, mut skip) = (0u64, 0u64);
+    let mb_bits = reg.histogram("codec.mb.bits");
+    for mb in &out.analysis.mbs {
+        intra += mb.intra as u64;
+        skip += mb.skip as u64;
+        mb_bits.record(mb.bits());
+    }
+    let total = out.analysis.mbs.len() as u64;
+    reg.counter("codec.mb.intra").add(intra);
+    reg.counter("codec.mb.skip").add(skip);
+    reg.counter("codec.mb.inter").add(total - intra - skip);
+    reg.counter("codec.payload.bits")
+        .add(out.payload.len() as u64 * 8);
+    reg.counter("codec.arith.bins").add(out.bins);
 }
 
 /// The chosen coding mode for one macroblock.
@@ -509,6 +541,7 @@ where
     let mut payload = Vec::new();
     let mut slice_lens = Vec::new();
     let mut slice_starts = Vec::new();
+    let mut bins = 0u64;
     let base_qp = frame_qp(ctx.cfg, ctx.plan.frame_type);
 
     for &(row_start, row_end) in &slice_rows(grid.mb_rows(), ctx.cfg.slices as usize) {
@@ -539,6 +572,7 @@ where
                 };
             }
         }
+        bins += w.bins_coded();
         let bytes = w.finish();
         // The flush bits belong to the last macroblock of the slice.
         if let Some(last_row) = (row_start..row_end).last() {
@@ -561,6 +595,7 @@ where
             mbs,
             slice_starts,
         },
+        bins,
     }
 }
 

@@ -161,6 +161,9 @@ pub trait SymbolWriter {
     fn put_sign(&mut self, negative: bool);
     /// Bits produced so far (monotone; used for macroblock bit spans).
     fn bit_pos(&self) -> u64;
+    /// Binary decisions coded so far (CABAC bins, or emitted VLC bits) —
+    /// feeds the `codec.arith.bins` observability counter.
+    fn bins_coded(&self) -> u64;
     /// Flushes and returns the payload bytes.
     fn finish(self) -> Vec<u8>;
 }
@@ -260,6 +263,10 @@ impl SymbolWriter for CabacWriter {
         self.enc.bit_pos()
     }
 
+    fn bins_coded(&self) -> u64 {
+        self.enc.bins_coded()
+    }
+
     fn finish(self) -> Vec<u8> {
         self.enc.finish()
     }
@@ -355,6 +362,11 @@ impl SymbolWriter for CavlcWriter {
     }
 
     fn bit_pos(&self) -> u64 {
+        self.writer.bit_len()
+    }
+
+    fn bins_coded(&self) -> u64 {
+        // Every emitted VLC bit is one binary decision.
         self.writer.bit_len()
     }
 

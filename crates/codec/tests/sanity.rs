@@ -26,7 +26,8 @@ fn codec_sanity_report() {
         let psnr = video_psnr(&video, &r.reconstruction);
         let dec = decode(&r.stream);
         assert_eq!(dec, r.reconstruction);
-        eprintln!(
+        vapp_obs::info!(
+            "codec.sanity",
             "crf={crf} {entropy:?}: ratio={:.1}x psnr={psnr:.2}dB bpp={:.3}",
             raw_bits / bits,
             bits / video.total_pixels() as f64

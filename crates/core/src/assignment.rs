@@ -186,6 +186,10 @@ impl Assignment {
                 }
             }
             min_rung = chosen_rung;
+            vapp_obs::debug!(
+                "core.assignment.class",
+                "class 2^{exp}: {bits} bits, share {share:.3} dB -> {chosen:?}"
+            );
             per_class.push((exp, bits, chosen));
         }
         Assignment {

@@ -96,6 +96,13 @@ pub fn equal_storage_bins(rec: &AnalysisRecord, imp: &ImportanceMap, n_bins: usi
     if cur.bits > 0 || bins.is_empty() {
         bins.push(cur);
     }
+    vapp_obs::debug!(
+        "core.classes.bins",
+        "{} bins over {} bits (requested {})",
+        bins.len(),
+        total,
+        n_bins
+    );
     bins
 }
 
@@ -130,7 +137,14 @@ pub fn importance_classes(rec: &AnalysisRecord, imp: &ImportanceMap) -> Vec<Clas
         class.mbs += 1;
         class.ranges.push(range);
     }
-    by_exp.into_values().collect()
+    let classes: Vec<Class> = by_exp.into_values().collect();
+    vapp_obs::debug!(
+        "core.classes.partition",
+        "{} log2 classes, exponents {:?}",
+        classes.len(),
+        classes.iter().map(|c| c.exp).collect::<Vec<_>>()
+    );
+    classes
 }
 
 #[cfg(test)]

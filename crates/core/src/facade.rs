@@ -50,9 +50,24 @@ impl VideoApp {
     ///
     /// Panics if `video` is empty.
     pub fn process(&self, video: &Video) -> Processed {
+        let frames = video.len();
+        let _span = vapp_obs::span!("core.video.process", frames);
         let result = self.encoder.encode(video);
-        let graph = DependencyGraph::from_analysis(&result.analysis);
-        let importance = ImportanceMap::compute(&graph);
+        let graph = {
+            let _g = vapp_obs::span!("core.graph.build");
+            DependencyGraph::from_analysis(&result.analysis)
+        };
+        let importance = {
+            let _i = vapp_obs::span!("core.importance.compute");
+            ImportanceMap::compute(&graph)
+        };
+        vapp_obs::debug!(
+            "core.video.process",
+            "{} frames, {} payload bits, max importance {:.1}",
+            frames,
+            result.stream.payload_bits(),
+            importance.max()
+        );
         Processed {
             stream: result.stream,
             reconstruction: result.reconstruction,

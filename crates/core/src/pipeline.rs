@@ -99,18 +99,34 @@ impl ApproxStore {
         table: &PivotTable,
         rng: &mut StdRng,
     ) -> EncodedVideo {
+        let raw_ber = self.policy.raw_ber;
+        let exact_bch = self.policy.exact_bch;
+        let _span = vapp_obs::span!("core.store.load", raw_ber, exact_bch);
         let mut streams = split_streams(stream, table);
+        let reg = vapp_obs::current();
         for level in 0..streams.level_data.len() {
             let scheme = self.policy.scheme_for_level(level);
             let bits = streams.level_bits[level];
-            corrupt_stream_bits(
-                &mut streams.level_data[level],
-                bits,
-                scheme,
-                self.policy.raw_ber,
-                self.policy.exact_bch,
-                rng,
-            );
+            let stats = {
+                let _lvl_span = vapp_obs::span!("core.level.corrupt", level, scheme, bits);
+                corrupt_stream_bits(
+                    &mut streams.level_data[level],
+                    bits,
+                    scheme,
+                    raw_ber,
+                    exact_bch,
+                    rng,
+                )
+            };
+            reg.counter(&format!("core.level.{level}.stored_bits"))
+                .add(bits);
+            reg.counter(&format!("core.level.{level}.flips"))
+                .add(stats.flips);
+            reg.counter(&format!("core.level.{level}.corrected"))
+                .add(stats.corrected);
+            reg.counter(&format!("core.level.{level}.uncorrectable"))
+                .add(stats.uncorrectable);
+            reg.counter("core.flips.injected").add(stats.flips);
         }
         merge_streams(stream, table, &streams)
     }
@@ -167,8 +183,22 @@ impl ApproxStore {
     }
 }
 
+/// Per-stream corruption tally produced by [`corrupt_stream_bits`] and
+/// folded into the per-level observability counters by `store_load`.
+#[derive(Clone, Copy, Debug, Default)]
+struct CorruptStats {
+    /// Raw bit flips injected into the substrate (codeword space for BCH).
+    flips: u64,
+    /// 512-bit blocks decoded clean.
+    clean: u64,
+    /// Blocks with errors fully corrected.
+    corrected: u64,
+    /// Blocks past the code's correction radius.
+    uncorrectable: u64,
+}
+
 /// Corrupts one protection stream in place (MSB-first bit order, matching
-/// the codec payloads).
+/// the codec payloads) and returns the corruption tally.
 fn corrupt_stream_bits(
     data: &mut [u8],
     bits: u64,
@@ -176,14 +206,16 @@ fn corrupt_stream_bits(
     raw_ber: f64,
     exact: bool,
     rng: &mut StdRng,
-) {
+) -> CorruptStats {
+    let mut stats = CorruptStats::default();
     if bits == 0 || raw_ber == 0.0 {
-        return;
+        return stats;
     }
     match scheme {
         EcScheme::None => {
             for pos in pick_positions(&[0..bits], raw_ber, rng) {
                 bitstream::flip_bit(data, pos);
+                stats.flips += 1;
             }
         }
         EcScheme::Bch(t) if !exact => {
@@ -197,17 +229,34 @@ fn corrupt_stream_bits(
                 if !rng.random_bool(q) {
                     continue;
                 }
+                stats.uncorrectable += 1;
                 let start = b * DATA_BITS as u64;
                 let end = ((b + 1) * DATA_BITS as u64).min(bits);
                 for pos in pick_k_positions(&[start..end], t as u64 + 1, rng) {
                     bitstream::flip_bit(data, pos);
+                    stats.flips += 1;
                 }
             }
+            // Corrected-block tally for this mode is the binomial
+            // expectation, computed deterministically so the analytic
+            // simulator consumes exactly as many RNG draws as before.
+            let p_corr = vapp_storage::uber::block_correction_rate(&code, raw_ber);
+            stats.corrected =
+                ((blocks as f64 * p_corr).round() as u64).min(blocks - stats.uncorrectable);
+            stats.clean = blocks - stats.uncorrectable - stats.corrected;
+            let reg = vapp_obs::current();
+            reg.counter("storage.bch.blocks").add(blocks);
+            reg.counter("storage.bch.clean").add(stats.clean);
+            reg.counter("storage.bch.corrected").add(stats.corrected);
+            reg.counter("storage.bch.uncorrectable")
+                .add(stats.uncorrectable);
         }
         EcScheme::Bch(t) => {
-            // Exact model: run the real code per block.
+            // Exact model: run the real code per block. The BCH decoder
+            // tallies the global `storage.bch.*` outcome counters itself.
             let code = Bch::new(t as usize);
             let blocks = bits.div_ceil(DATA_BITS as u64);
+            vapp_obs::counter!("storage.bch.blocks", blocks);
             for b in 0..blocks {
                 let start = b * DATA_BITS as u64;
                 let end = ((b + 1) * DATA_BITS as u64).min(bits);
@@ -217,14 +266,15 @@ fn corrupt_stream_bits(
                 }
                 let mut cw = code.encode(&block);
                 let flips = pick_positions(&[0..cw.len() as u64], raw_ber, rng);
+                stats.flips += flips.len() as u64;
                 for f in &flips {
                     cw.flip(*f as usize);
                 }
                 match code.decode(&mut cw) {
-                    DecodeOutcome::Clean | DecodeOutcome::Corrected(_) => {
-                        // Either no errors or all corrected: data intact.
-                    }
+                    DecodeOutcome::Clean => stats.clean += 1,
+                    DecodeOutcome::Corrected(_) => stats.corrected += 1,
                     DecodeOutcome::Uncorrectable => {
+                        stats.uncorrectable += 1;
                         // Deliver the damaged data bits as read.
                         let dirty = code.extract_data(&cw);
                         for (j, pos) in (start..end).enumerate() {
@@ -235,6 +285,7 @@ fn corrupt_stream_bits(
             }
         }
     }
+    stats
 }
 
 #[inline]
@@ -303,6 +354,55 @@ impl PipelineReport {
     /// Fraction of the error-correction overhead eliminated (paper: 47%).
     pub fn ec_overhead_reduction(&self) -> f64 {
         density::overhead_reduction(EcScheme::PRECISE.overhead(), self.avg_payload_overhead)
+    }
+
+    /// Serializes the report as a JSON object (the `vapp --report-json`
+    /// payload). Schemes are rendered as their `Debug` strings (e.g.
+    /// `"Bch(6)"`); derived ratios are included so downstream tooling
+    /// does not re-implement the density arithmetic.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        use vapp_obs::json::{escape, fmt_f64};
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"pixels\":{},\"payload_bits\":{},\"header_bits\":{},\"pivot_bits\":{},",
+            self.pixels, self.payload_bits, self.header_bits, self.pivot_bits
+        );
+        let _ = write!(
+            s,
+            "\"level_bits\":[{}],",
+            self.level_bits
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let _ = write!(
+            s,
+            "\"level_schemes\":[{}],",
+            self.level_schemes
+                .iter()
+                .map(|sc| format!("\"{}\"", escape(&format!("{sc:?}"))))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for (key, v) in [
+            ("avg_payload_overhead", self.avg_payload_overhead),
+            ("total_cells_mlc", self.total_cells_mlc),
+            ("cells_slc", self.cells_slc),
+            ("cells_ideal", self.cells_ideal),
+            ("cells_uniform", self.cells_uniform),
+            ("cells_per_pixel", self.cells_per_pixel()),
+            ("density_vs_slc", self.density_vs_slc()),
+            ("savings_vs_uniform", self.savings_vs_uniform()),
+            ("ec_overhead_reduction", self.ec_overhead_reduction()),
+        ] {
+            let _ = write!(s, "\"{key}\":{},", fmt_f64(v));
+        }
+        s.pop(); // trailing comma
+        s.push('}');
+        s
     }
 }
 

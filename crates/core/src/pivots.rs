@@ -112,10 +112,18 @@ impl PivotTable {
                 payload_bits,
             });
         }
-        PivotTable {
+        let table = PivotTable {
             frames,
             levels: thresholds.len() as u8 + 1,
-        }
+        };
+        vapp_obs::debug!(
+            "core.pivots.build",
+            "{} levels, {} pivots, {} bookkeeping bits",
+            table.levels,
+            table.pivot_count(),
+            table.bookkeeping_bits()
+        );
+        table
     }
 
     /// Bookkeeping bits this table adds to the (precisely stored) frame

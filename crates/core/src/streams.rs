@@ -60,6 +60,7 @@ impl ProtectedStreams {
             mode.approximation_compatible(),
             "mode {mode:?} is not usable over approximate storage"
         );
+        let _span = vapp_obs::span!("core.streams.encrypt", mode);
         for (id, data) in self.level_data.iter_mut().enumerate() {
             let iv = derive_stream_iv(key, master_iv, id as u64);
             *data = mode.encrypt(key, &iv, data);
@@ -73,6 +74,7 @@ impl ProtectedStreams {
             mode.approximation_compatible(),
             "mode {mode:?} is not usable over approximate storage"
         );
+        let _span = vapp_obs::span!("core.streams.decrypt", mode);
         for (id, data) in self.level_data.iter_mut().enumerate() {
             let iv = derive_stream_iv(key, master_iv, id as u64);
             *data = mode.decrypt(key, &iv, data);
@@ -93,6 +95,7 @@ pub fn split_streams(stream: &EncodedVideo, table: &PivotTable) -> ProtectedStre
         "pivot table / stream mismatch"
     );
     let levels = table.levels as usize;
+    let _span = vapp_obs::span!("core.streams.split", levels);
     let mut bits: Vec<Vec<bool>> = vec![Vec::new(); levels];
     for (frame, fp) in stream.frames.iter().zip(&table.frames) {
         for (range, level) in fp.level_spans() {
@@ -138,6 +141,7 @@ pub fn merge_streams(
     );
     let levels = table.levels as usize;
     assert_eq!(streams.level_data.len(), levels, "level count mismatch");
+    let _span = vapp_obs::span!("core.streams.merge", levels);
     let mut cursors = vec![0u64; levels];
     let mut out = template.clone();
     for (frame, fp) in out.frames.iter_mut().zip(&table.frames) {

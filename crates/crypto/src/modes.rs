@@ -50,6 +50,7 @@ impl CipherMode {
     /// as the frame headers do in the video store). OFB and CTR are
     /// stream modes and preserve length exactly.
     pub fn encrypt(self, key: &Key, iv: &Block, data: &[u8]) -> Vec<u8> {
+        vapp_obs::counter!("crypto.bytes.encrypted", data.len() as u64);
         let aes = Aes128::new(key);
         match self {
             CipherMode::Ecb => {
@@ -86,6 +87,7 @@ impl CipherMode {
     ///
     /// Panics if an ECB/CBC input is not block-aligned.
     pub fn decrypt(self, key: &Key, iv: &Block, data: &[u8]) -> Vec<u8> {
+        vapp_obs::counter!("crypto.bytes.decrypted", data.len() as u64);
         let aes = Aes128::new(key);
         match self {
             CipherMode::Ecb => {

@@ -1,0 +1,148 @@
+//! Event severity levels and the `VAPP_OBS`-gated stderr sink.
+//!
+//! The level is parsed from the environment once, on first use, into an
+//! atomic — after that a gate check is a single relaxed load, cheap
+//! enough to leave event call sites in library hot paths.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Event severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-corrupting conditions.
+    Error = 1,
+    /// Suspicious but survivable conditions.
+    Warn = 2,
+    /// High-level run milestones (per-video, per-experiment).
+    Info = 3,
+    /// Per-stage diagnostics (per-frame, per-level).
+    Debug = 4,
+    /// Everything, including per-block detail.
+    Trace = 5,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Option<Level> {
+        match v {
+            1 => Some(Level::Error),
+            2 => Some(Level::Warn),
+            3 => Some(Level::Info),
+            4 => Some(Level::Debug),
+            5 => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Parses a `VAPP_OBS` value. Unrecognised strings mean "off" so a
+    /// typo can never make a library crate noisy.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        })
+    }
+}
+
+/// Sentinel meaning "not yet read from the environment".
+const UNINIT: u8 = u8::MAX;
+/// Sentinel meaning "stderr sink disabled".
+const OFF: u8 = 0;
+
+static STDERR_LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn load_level() -> u8 {
+    let v = STDERR_LEVEL.load(Ordering::Relaxed);
+    if v != UNINIT {
+        return v;
+    }
+    let parsed = std::env::var("VAPP_OBS")
+        .ok()
+        .and_then(|s| Level::parse(&s))
+        .map(|l| l as u8)
+        .unwrap_or(OFF);
+    // A racing initialiser computes the same value; last store wins.
+    STDERR_LEVEL.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// The stderr sink's maximum enabled level (`None` = off, the default).
+pub fn stderr_level() -> Option<Level> {
+    Level::from_u8(load_level())
+}
+
+/// Whether events at `level` reach stderr.
+#[inline]
+pub fn stderr_enabled(level: Level) -> bool {
+    level as u8 <= load_level()
+}
+
+/// Overrides the stderr level programmatically (e.g. a `--verbose` CLI
+/// flag), bypassing `VAPP_OBS`. `None` silences the sink.
+pub fn set_stderr_level(level: Option<Level>) {
+    STDERR_LEVEL.store(level.map(|l| l as u8).unwrap_or(OFF), Ordering::Relaxed);
+}
+
+/// Formats one event line to stderr. Called by the [`crate::event!`]
+/// macro only after the level gate passed. The current span path gives
+/// events their context, e.g.
+/// `[debug] codec.video.encode>codec.frame.encode codec.mb: ...`.
+pub fn emit(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    let path = crate::span::current_path();
+    if path.is_empty() {
+        eprintln!("[{level}] {target}: {args}");
+    } else {
+        eprintln!("[{level}] {path} {target}: {args}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_levels_only() {
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse(" INFO "), Some(Level::Info));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn severity_orders_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+    }
+
+    #[test]
+    fn programmatic_override_gates_events() {
+        // Note: mutates process-global state; keep both checks in one
+        // test so no parallel test observes a half-set level.
+        set_stderr_level(Some(Level::Warn));
+        assert!(stderr_enabled(Level::Error));
+        assert!(stderr_enabled(Level::Warn));
+        assert!(!stderr_enabled(Level::Info));
+        set_stderr_level(None);
+        assert!(!stderr_enabled(Level::Error));
+        assert_eq!(stderr_level(), None);
+    }
+}

@@ -1,0 +1,417 @@
+//! The metrics registry: named counters, histograms and span statistics.
+//!
+//! Values are plain atomics — recording never blocks on other recorders.
+//! The only locks are the name → handle maps, taken once per lookup;
+//! hot loops should hoist the [`Counter`] / [`Histogram`] handle out of
+//! the loop (see [`Registry::counter`]).
+//!
+//! There is one process-global registry ([`global`]) plus a thread-local
+//! override stack ([`with_registry`]) so tests and property-check cases
+//! can observe their own isolated metrics while the rest of the process
+//! keeps using the global one.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
+
+/// A monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per possible bit length of a `u64`
+/// value, plus one for zero.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram with power-of-two bucket edges: bucket `b`
+/// (for `b > 0`) counts values in `[2^(b-1), 2^b - 1]`; bucket 0 counts
+/// exact zeros. Also tracks count, sum, min and max exactly.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: its bit length (0 for 0).
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(b, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    (c > 0).then_some((b as u32, c))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Aggregate wall-clock statistics for one span name.
+#[derive(Debug)]
+pub struct SpanStats {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for SpanStats {
+    fn default() -> Self {
+        SpanStats {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SpanStats {
+    /// Folds one completed span duration into the aggregate.
+    pub fn record(&self, dur_ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(dur_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, name: &str) -> SpanSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        SpanSnapshot {
+            name: name.to_string(),
+            count,
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One completed span on the timeline (an individual record, unlike the
+/// per-name aggregates — this is what gives *per-frame* durations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (`crate.noun.verb`).
+    pub name: String,
+    /// `name=value` fields captured at the [`crate::span!`] call site.
+    pub fields: String,
+    /// Nesting depth at completion time (1 = top level).
+    pub depth: u32,
+    /// Start offset from the registry's creation, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Timeline capacity. Beyond this, records are counted as dropped rather
+/// than stored — the snapshot reports the drop count so truncation is
+/// never silent.
+pub const TIMELINE_CAP: usize = 16_384;
+
+#[derive(Debug, Default)]
+struct Timeline {
+    records: Vec<SpanRecord>,
+    dropped: u64,
+}
+
+/// A collection point for counters, histograms, span statistics and the
+/// span timeline.
+#[derive(Debug)]
+pub struct Registry {
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<BTreeMap<String, Arc<SpanStats>>>,
+    timeline: Mutex<Timeline>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry; its epoch (timeline zero) is now.
+    pub fn new() -> Self {
+        Registry {
+            epoch: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            timeline: Mutex::new(Timeline::default()),
+        }
+    }
+
+    /// The registry's creation instant (timeline records are offsets
+    /// from this).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    /// The handle is cheap to clone and can be cached across calls.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::default());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// The span statistics registered under `name`, creating them on
+    /// first use.
+    pub fn span_stats(&self, name: &str) -> Arc<SpanStats> {
+        let mut map = self.spans.lock().expect("span map poisoned");
+        if let Some(s) = map.get(name) {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(SpanStats::default());
+        map.insert(name.to_string(), Arc::clone(&s));
+        s
+    }
+
+    /// Appends one completed span to the timeline (or counts it as
+    /// dropped past [`TIMELINE_CAP`]).
+    pub fn record_span(&self, record: SpanRecord) {
+        let mut tl = self.timeline.lock().expect("timeline poisoned");
+        if tl.records.len() < TIMELINE_CAP {
+            tl.records.push(record);
+        } else {
+            tl.dropped += 1;
+        }
+    }
+
+    /// A consistent copy of everything collected so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .expect("span map poisoned")
+            .iter()
+            .map(|(name, s)| s.snapshot(name))
+            .collect();
+        let tl = self.timeline.lock().expect("timeline poisoned");
+        Snapshot {
+            counters,
+            histograms,
+            spans,
+            timeline: tl.records.clone(),
+            timeline_dropped: tl.dropped,
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+thread_local! {
+    static SCOPED: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The process-global registry (created on first use).
+pub fn global() -> Arc<Registry> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(Registry::new())))
+}
+
+/// The registry recording calls on this thread: the innermost
+/// [`with_registry`] scope if one is active, the global registry
+/// otherwise.
+pub fn current() -> Arc<Registry> {
+    SCOPED
+        .with(|stack| stack.borrow().last().cloned())
+        .unwrap_or_else(global)
+}
+
+/// Runs `f` with `reg` installed as this thread's current registry.
+/// Scopes nest; the previous registry is restored on exit, including on
+/// panic (so a failing test case's metrics stay inspectable by the
+/// caller that catches the panic).
+pub fn with_registry<T>(reg: Arc<Registry>, f: impl FnOnce() -> T) -> T {
+    struct PopGuard;
+    impl Drop for PopGuard {
+        fn drop(&mut self) {
+            SCOPED.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    SCOPED.with(|stack| stack.borrow_mut().push(reg));
+    let _guard = PopGuard;
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_are_shared_by_name() {
+        let reg = Registry::new();
+        reg.counter("a.b.c").add(2);
+        let handle = reg.counter("a.b.c");
+        handle.add(3);
+        assert_eq!(reg.counter("a.b.c").get(), 5);
+        assert_eq!(reg.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_follow_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("h").expect("recorded");
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.sum, 1006);
+        assert_eq!(hs.min, 0);
+        assert_eq!(hs.max, 1000);
+        // buckets: 0 -> b0, 1 -> b1, {2,3} -> b2, 1000 -> b10
+        assert_eq!(hs.buckets, vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn scoped_registry_shadows_global_and_restores_on_panic() {
+        let reg = Arc::new(Registry::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_registry(reg.clone(), || {
+                current().counter("scoped.only").add(1);
+                panic!("boom");
+            })
+        }));
+        assert!(result.is_err());
+        // The scope unwound: current() is the global registry again.
+        assert_eq!(reg.snapshot().counter("scoped.only"), 1);
+        assert!(!Arc::ptr_eq(&current(), &reg));
+    }
+
+    #[test]
+    fn scopes_nest_innermost_wins() {
+        let outer = Arc::new(Registry::new());
+        let inner = Arc::new(Registry::new());
+        with_registry(outer.clone(), || {
+            current().counter("depth").add(1);
+            with_registry(inner.clone(), || {
+                current().counter("depth").add(10);
+            });
+            current().counter("depth").add(100);
+        });
+        assert_eq!(outer.snapshot().counter("depth"), 101);
+        assert_eq!(inner.snapshot().counter("depth"), 10);
+    }
+
+    #[test]
+    fn timeline_caps_and_reports_drops() {
+        let reg = Registry::new();
+        for i in 0..(TIMELINE_CAP + 3) {
+            reg.record_span(SpanRecord {
+                name: "x".into(),
+                fields: String::new(),
+                depth: 1,
+                start_ns: i as u64,
+                dur_ns: 1,
+            });
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.timeline.len(), TIMELINE_CAP);
+        assert_eq!(snap.timeline_dropped, 3);
+    }
+}

@@ -1,0 +1,409 @@
+//! Point-in-time snapshots of a [`crate::Registry`] and their sinks: a
+//! machine-readable JSON document (`OBS_<run>.json`, the same
+//! shape-discipline as the bench harness's `BENCH_*.json`) and a compact
+//! human-readable text rendering.
+//!
+//! JSON schema (stable compatibility surface — benches and CI diff these
+//! files across PRs):
+//!
+//! ```json
+//! {
+//!   "obs": "vapp-obs",
+//!   "run": "store",
+//!   "counters": { "core.level.0.stored_bits": 57344, ... },
+//!   "histograms": {
+//!     "sim.flips.per_draw": {
+//!       "count": 30, "sum": 171, "min": 2, "max": 11,
+//!       "buckets": [[2, 7], [3, 14], [4, 9]]
+//!     }
+//!   },
+//!   "spans": {
+//!     "codec.frame.encode": {
+//!       "count": 48, "total_ns": 81234567,
+//!       "min_ns": 901234, "max_ns": 3456789, "mean_ns": 1692386.8
+//!     }
+//!   },
+//!   "timeline": [
+//!     {"span": "codec.frame.encode", "fields": "coding=0,ft=I",
+//!      "depth": 2, "start_ns": 1200, "dur_ns": 3456789}
+//!   ],
+//!   "timeline_dropped": 0
+//! }
+//! ```
+//!
+//! Histogram `buckets` entries are `[bit_length, count]` pairs: bucket
+//! `b > 0` counts values in `[2^(b-1), 2^b - 1]`, bucket 0 counts exact
+//! zeros. Only non-empty buckets appear.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::json::{escape, fmt_f64};
+use crate::registry::SpanRecord;
+
+/// Snapshot of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// `(bit_length, count)` pairs for non-empty buckets.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Snapshot of one span name's aggregate timings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: String,
+    /// Completed instances.
+    pub count: u64,
+    /// Total wall-clock time across instances, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest instance (0 when empty).
+    pub min_ns: u64,
+    /// Slowest instance (0 when empty).
+    pub max_ns: u64,
+}
+
+impl SpanSnapshot {
+    /// Mean duration per instance, nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// A consistent copy of a registry's state.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Span aggregates, sorted by name.
+    pub spans: Vec<SpanSnapshot>,
+    /// Individual completed spans in completion order (bounded; see
+    /// [`crate::registry::TIMELINE_CAP`]).
+    pub timeline: Vec<SpanRecord>,
+    /// Spans that no longer fit on the timeline.
+    pub timeline_dropped: u64,
+}
+
+impl Snapshot {
+    /// The value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The histogram named `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The span aggregate named `name`, if recorded.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the snapshot as a JSON document (see the module docs for
+    /// the schema). `run` labels the snapshot, e.g. the CLI subcommand
+    /// or example name.
+    pub fn to_json(&self, run: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"obs\": \"vapp-obs\",");
+        let _ = writeln!(out, "  \"run\": \"{}\",", escape(run));
+
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{}\": {v}", escape(name));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(b, c)| format!("[{b}, {c}]"))
+                .collect();
+            let _ = write!(
+                out,
+                "{sep}    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                escape(&h.name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                buckets.join(", ")
+            );
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"spans\": {");
+        for (i, s) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}",
+                escape(&s.name),
+                s.count,
+                s.total_ns,
+                s.min_ns,
+                s.max_ns,
+                fmt_f64(s.mean_ns())
+            );
+        }
+        out.push_str(if self.spans.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"timeline\": [");
+        for (i, r) in self.timeline.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{\"span\": \"{}\", \"fields\": \"{}\", \"depth\": {}, \"start_ns\": {}, \"dur_ns\": {}}}",
+                escape(&r.name),
+                escape(&r.fields),
+                r.depth,
+                r.start_ns,
+                r.dur_ns
+            );
+        }
+        out.push_str(if self.timeline.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+
+        let _ = writeln!(out, "  \"timeline_dropped\": {}", self.timeline_dropped);
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders a compact human-readable summary (the `--stats` output
+    /// and the vapp-check failure context). At most `max_lines` lines;
+    /// the timeline is summarised, not listed.
+    pub fn render_text(&self, max_lines: usize) -> String {
+        fn ms(ns: f64) -> String {
+            if ns >= 1e6 {
+                format!("{:.2} ms", ns / 1e6)
+            } else {
+                format!("{:.1} µs", ns / 1e3)
+            }
+        }
+        let mut lines = Vec::new();
+        if !self.spans.is_empty() {
+            lines.push("spans (count, total, mean, min..max):".to_string());
+            for s in &self.spans {
+                lines.push(format!(
+                    "  {:<32} x{:<5} {:>10}  mean {:>10}  [{} .. {}]",
+                    s.name,
+                    s.count,
+                    ms(s.total_ns as f64),
+                    ms(s.mean_ns()),
+                    ms(s.min_ns as f64),
+                    ms(s.max_ns as f64),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            lines.push("counters:".to_string());
+            for (name, v) in &self.counters {
+                lines.push(format!("  {name:<40} {v}"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            lines.push("histograms (count, mean, min..max):".to_string());
+            for h in &self.histograms {
+                lines.push(format!(
+                    "  {:<32} x{:<7} mean {:>10.1}  [{} .. {}]",
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        if self.timeline_dropped > 0 {
+            lines.push(format!(
+                "(timeline: {} kept, {} dropped past cap)",
+                self.timeline.len(),
+                self.timeline_dropped
+            ));
+        }
+        let total = lines.len();
+        if total > max_lines && max_lines > 0 {
+            lines.truncate(max_lines - 1);
+            lines.push(format!("... ({} more lines)", total - (max_lines - 1)));
+        }
+        lines.join("\n")
+    }
+}
+
+/// Writes `OBS_<run>.json` for the *current* registry into `dir`
+/// (creating it), returning the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable directory, full disk).
+pub fn write_run_snapshot(dir: &Path, run: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("OBS_{run}.json"));
+    std::fs::write(&path, crate::registry::current().snapshot().to_json(run))?;
+    Ok(path)
+}
+
+/// Honours the `VAPP_OBS_OUT` environment contract: when the variable
+/// names a directory, writes `OBS_<run>.json` there and returns the
+/// path; a no-op (`None`) otherwise. Write failures are reported on
+/// stderr rather than propagated — observability must not fail the run.
+pub fn maybe_write_run_snapshot(run: &str) -> Option<PathBuf> {
+    let dir = std::env::var_os("VAPP_OBS_OUT")?;
+    match write_run_snapshot(Path::new(&dir), run) {
+        Ok(path) => Some(path),
+        Err(e) => {
+            eprintln!("vapp-obs: cannot write OBS_{run}.json: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use crate::registry::{with_registry, Registry};
+    use std::sync::Arc;
+
+    fn sample() -> Snapshot {
+        let reg = Arc::new(Registry::new());
+        with_registry(reg.clone(), || {
+            crate::counter!("a.b.c", 7u64);
+            crate::histogram!("h.i.j", 3u64);
+            crate::histogram!("h.i.j", 0u64);
+            let _s = crate::span!("s.p.q");
+        });
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_snapshot_parses_and_reflects_values() {
+        let snap = sample();
+        let json = snap.to_json("unit \"test\"");
+        let doc = Value::parse(&json).expect("valid JSON");
+        assert_eq!(doc.get("obs").and_then(Value::as_str), Some("vapp-obs"));
+        assert_eq!(
+            doc.get("run").and_then(Value::as_str),
+            Some("unit \"test\"")
+        );
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("a.b.c"))
+                .and_then(Value::as_u64),
+            Some(7)
+        );
+        let h = doc.get("histograms").and_then(|h| h.get("h.i.j")).unwrap();
+        assert_eq!(h.get("count").and_then(Value::as_u64), Some(2));
+        assert_eq!(h.get("sum").and_then(Value::as_u64), Some(3));
+        let buckets = h.get("buckets").and_then(Value::as_arr).unwrap();
+        assert_eq!(buckets.len(), 2); // zero bucket + bit-length-2 bucket
+        let s = doc.get("spans").and_then(|s| s.get("s.p.q")).unwrap();
+        assert_eq!(s.get("count").and_then(Value::as_u64), Some(1));
+        let tl = doc.get("timeline").and_then(Value::as_arr).unwrap();
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl[0].get("span").and_then(Value::as_str), Some("s.p.q"));
+        assert_eq!(doc.get("timeline_dropped").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn empty_snapshot_is_still_valid_json() {
+        let snap = Snapshot::default();
+        let doc = Value::parse(&snap.to_json("empty")).expect("valid JSON");
+        assert!(doc
+            .get("counters")
+            .and_then(Value::as_obj)
+            .unwrap()
+            .is_empty());
+        assert!(doc
+            .get("timeline")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn text_rendering_truncates_to_line_budget() {
+        let reg = Arc::new(Registry::new());
+        with_registry(reg.clone(), || {
+            for i in 0..50 {
+                crate::counter!(&format!("many.counter.{i:02}"), 1u64);
+            }
+        });
+        let text = reg.snapshot().render_text(10);
+        assert_eq!(text.lines().count(), 10);
+        assert!(text.lines().last().unwrap().contains("more lines"));
+        let full = reg.snapshot().render_text(1000);
+        assert!(full.lines().count() > 50);
+    }
+
+    #[test]
+    fn run_snapshot_writes_named_file() {
+        let dir = std::env::temp_dir().join("vapp-obs-snapshot-test");
+        let reg = Arc::new(Registry::new());
+        let path = with_registry(reg, || {
+            crate::counter!("file.write.test");
+            write_run_snapshot(&dir, "selftest").expect("writable temp dir")
+        });
+        assert!(path.ends_with("OBS_selftest.json"));
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        let doc = Value::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("file.write.test"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        let _ = std::fs::remove_file(path);
+    }
+}

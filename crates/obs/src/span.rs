@@ -1,0 +1,141 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A [`Span`] is an RAII guard: [`Span::enter`] notes the start instant
+//! and pushes the name onto a thread-local stack (so events and nested
+//! spans know their context); dropping it records the duration into the
+//! current registry's per-name aggregates and bounded timeline.
+//!
+//! Spans are deliberately coarse — per frame, per stream, per pipeline
+//! stage — so two `Instant` reads and one registry update per span are
+//! negligible next to the work they measure. Per-bit or per-bin work is
+//! counted with [`crate::counter!`] instead.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::level::{stderr_enabled, Level};
+use crate::registry::{current, SpanRecord};
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The `>`-joined names of the spans currently open on this thread
+/// (outermost first); empty when no span is active.
+pub fn current_path() -> String {
+    SPAN_STACK.with(|stack| stack.borrow().join(">"))
+}
+
+/// Current nesting depth (number of open spans on this thread).
+pub fn current_depth() -> usize {
+    SPAN_STACK.with(|stack| stack.borrow().len())
+}
+
+/// An open span; created by the [`crate::span!`] macro.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    fields: String,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span: records the start instant and enters the name onto
+    /// this thread's span stack.
+    pub fn enter(name: &str, fields: String) -> Span {
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(name.to_string()));
+        Span {
+            name: name.to_string(),
+            fields,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let depth = current_depth() as u32;
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        if stderr_enabled(Level::Debug) {
+            let path = current_path();
+            let sep = if path.is_empty() { "" } else { ">" };
+            let braces = if self.fields.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", self.fields)
+            };
+            eprintln!(
+                "[span] {path}{sep}{}{braces} {:.3} ms",
+                self.name,
+                dur_ns as f64 / 1e6
+            );
+        }
+        let reg = current();
+        reg.span_stats(&self.name).record(dur_ns);
+        let start_ns = self
+            .start
+            .duration_since(reg.epoch())
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        reg.record_span(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            fields: std::mem::take(&mut self.fields),
+            depth,
+            start_ns,
+            dur_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{with_registry, Registry};
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let reg = Arc::new(Registry::new());
+        with_registry(reg.clone(), || {
+            assert_eq!(current_depth(), 0);
+            let _outer = Span::enter("outer.work.run", String::new());
+            assert_eq!(current_path(), "outer.work.run");
+            {
+                let _inner = Span::enter("inner.work.run", String::new());
+                assert_eq!(current_path(), "outer.work.run>inner.work.run");
+                assert_eq!(current_depth(), 2);
+            }
+            assert_eq!(current_depth(), 1);
+        });
+        let snap = reg.snapshot();
+        // Inner completed first.
+        assert_eq!(snap.timeline[0].name, "inner.work.run");
+        assert_eq!(snap.timeline[0].depth, 2);
+        assert_eq!(snap.timeline[1].name, "outer.work.run");
+        assert_eq!(snap.timeline[1].depth, 1);
+        assert!(snap.timeline[1].dur_ns >= snap.timeline[0].dur_ns);
+    }
+
+    #[test]
+    fn aggregates_cover_all_instances() {
+        let reg = Arc::new(Registry::new());
+        with_registry(reg.clone(), || {
+            for _ in 0..5 {
+                let _s = Span::enter("repeat.work.run", String::new());
+            }
+        });
+        let snap = reg.snapshot();
+        let s = snap.span("repeat.work.run").expect("recorded");
+        assert_eq!(s.count, 5);
+        assert!(s.min_ns <= s.max_ns);
+        assert!(s.total_ns >= s.max_ns);
+    }
+}

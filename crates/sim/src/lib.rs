@@ -98,6 +98,7 @@ fn index_to_position(ranges: &[Range<u64>], mut idx: u64) -> u64 {
 pub fn pick_positions(ranges: &[Range<u64>], rate: f64, rng: &mut StdRng) -> Vec<u64> {
     let n = total_bits(ranges);
     let k = sample_flip_count(n, rate, rng);
+    vapp_obs::histogram!("sim.flips.per_draw", k);
     pick_k_positions(ranges, k, rng)
 }
 
@@ -139,6 +140,7 @@ pub fn pick_positions_forced(ranges: &[Range<u64>], rate: f64, rng: &mut StdRng)
             forced: false,
         };
     }
+    vapp_obs::counter!("sim.draws.forced");
     ForcedDraw {
         positions: pick_k_positions(ranges, 1, rng),
         forced: true,
@@ -173,6 +175,8 @@ impl Trials {
     /// Runs `f` once per trial with a trial-specific RNG, collecting the
     /// returned measurements.
     pub fn run<T>(&self, mut f: impl FnMut(usize, &mut StdRng) -> T) -> Vec<T> {
+        let trials = self.count;
+        let _span = vapp_obs::span!("sim.trials.run", trials);
         (0..self.count)
             .map(|i| {
                 let mut rng = StdRng::seed_from_u64(

@@ -159,14 +159,14 @@ impl Bch {
             *s = acc;
         }
         if syndromes.iter().all(|&s| s == 0) {
-            return DecodeOutcome::Clean;
+            return self.tally(DecodeOutcome::Clean);
         }
 
         // Berlekamp–Massey: find the error locator σ(x).
         let sigma = berlekamp_massey(&syndromes, gf);
         let deg = sigma.len() - 1;
         if deg == 0 || deg > self.t {
-            return DecodeOutcome::Uncorrectable;
+            return self.tally(DecodeOutcome::Uncorrectable);
         }
 
         // Chien search over positions 0..n: position k errs iff
@@ -186,13 +186,28 @@ impl Bch {
             }
         }
         if positions.len() != deg {
-            return DecodeOutcome::Uncorrectable;
+            return self.tally(DecodeOutcome::Uncorrectable);
         }
         for &k in &positions {
             let v = self.coeff(cw, k);
             self.set_coeff(cw, k, !v);
         }
-        DecodeOutcome::Corrected(positions.len())
+        self.tally(DecodeOutcome::Corrected(positions.len()))
+    }
+
+    /// Records one decode outcome in the observability registry
+    /// (`storage.bch.clean` / `.corrected` / `.uncorrectable`, plus the
+    /// individual `storage.bch.bits_corrected` total) and passes it through.
+    fn tally(&self, out: DecodeOutcome) -> DecodeOutcome {
+        match out {
+            DecodeOutcome::Clean => vapp_obs::counter!("storage.bch.clean"),
+            DecodeOutcome::Corrected(n) => {
+                vapp_obs::counter!("storage.bch.corrected");
+                vapp_obs::counter!("storage.bch.bits_corrected", n as u64);
+            }
+            DecodeOutcome::Uncorrectable => vapp_obs::counter!("storage.bch.uncorrectable"),
+        }
+        out
     }
 
     /// Extracts the 512 data bits from a codeword.

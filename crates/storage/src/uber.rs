@@ -74,6 +74,16 @@ pub fn block_failure_rate(code: &Bch, raw_ber: f64) -> f64 {
     binomial_tail(code.codeword_bits() as u64, raw_ber, code.t() as u64)
 }
 
+/// Probability that one BCH-protected block sees at least one error but
+/// stays correctable: `P(1 ≤ Bin(n, p) ≤ t)`. This is the analytic twin of
+/// the exact simulator's `DecodeOutcome::Corrected` tally — the analytic
+/// pipeline mode uses it to report expected corrected-block counts without
+/// consuming any extra RNG draws.
+pub fn block_correction_rate(code: &Bch, raw_ber: f64) -> f64 {
+    let n = code.codeword_bits() as u64;
+    (binomial_tail(n, raw_ber, 0) - binomial_tail(n, raw_ber, code.t() as u64)).max(0.0)
+}
+
 /// Expected fraction of *data* bits left in error after decoding: failed
 /// blocks keep (approximately) their raw errors, corrected blocks none.
 pub fn residual_ber(code: &Bch, raw_ber: f64) -> f64 {
@@ -142,6 +152,22 @@ mod tests {
             assert!(q < last, "BCH-{t} not monotone");
             last = q;
         }
+    }
+
+    #[test]
+    fn correction_rate_partitions_the_error_space() {
+        // P(clean) + P(corrected) + P(uncorrectable) must equal 1.
+        let code = Bch::new(6);
+        let p = 1e-3;
+        let n = code.codeword_bits() as u64;
+        let p_any = binomial_tail(n, p, 0);
+        let p_clean = 1.0 - p_any;
+        let p_corr = block_correction_rate(&code, p);
+        let p_fail = block_failure_rate(&code, p);
+        assert!((p_clean + p_corr + p_fail - 1.0).abs() < 1e-12);
+        // At these rates nearly every errored block is correctable.
+        assert!(p_corr > p_fail * 100.0);
+        assert_eq!(block_correction_rate(&code, 0.0), 0.0);
     }
 
     #[test]

@@ -58,4 +58,9 @@ fn main() {
     println!("higher quality (lower CRF) inflates every frame, so a fixed error rate");
     println!("hits more frames per video — the paper's §7.3 counter-intuition: better");
     println!("quality means slightly *less* approximability for CABAC streams.");
+
+    if vapp_obs::stderr_level().is_some() {
+        eprint!("{}", vapp_obs::current().snapshot().render_text(40));
+    }
+    vapp_obs::maybe_write_run_snapshot("action_camera");
 }

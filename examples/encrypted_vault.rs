@@ -77,4 +77,9 @@ fn main() {
     );
     println!("requirement #3 verified: encrypted and plaintext damage are identical.");
     println!("(ECB/CBC would fail here — see `cargo run -p vapp-bench --bin crypto_modes`)");
+
+    if vapp_obs::stderr_level().is_some() {
+        eprint!("{}", vapp_obs::current().snapshot().render_text(40));
+    }
+    vapp_obs::maybe_write_run_snapshot("encrypted_vault");
 }

@@ -82,4 +82,11 @@ fn main() {
         video_psnr(&video, &decoded),
         video_psnr(&video, &decoded) - video_psnr(&video, &result.reconstruction),
     );
+
+    // Observability: summarize to stderr only when VAPP_OBS enables the
+    // sink; write OBS_quickstart.json when VAPP_OBS_OUT names a directory.
+    if vapp_obs::stderr_level().is_some() {
+        eprint!("{}", vapp_obs::current().snapshot().render_text(40));
+    }
+    vapp_obs::maybe_write_run_snapshot("quickstart");
 }

@@ -74,4 +74,9 @@ fn main() {
     println!();
     println!("static scenes skip aggressively: most bits sit in low importance classes,");
     println!("so the variable scheme strips ECC from the bulk of the archive.");
+
+    if vapp_obs::stderr_level().is_some() {
+        eprint!("{}", vapp_obs::current().snapshot().render_text(40));
+    }
+    vapp_obs::maybe_write_run_snapshot("surveillance_archive");
 }

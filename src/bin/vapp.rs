@@ -20,8 +20,28 @@ use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
 use videoapp::{ApproxStore, EcScheme, ImportanceMap, PivotTable, StoragePolicy, VideoApp};
 
+/// How `--stats` wants the observability snapshot rendered.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StatsMode {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut args: VecDeque<String> = std::env::args().skip(1).collect();
+    // Observability flags are global: valid on every subcommand.
+    let mut stats = None;
+    args.retain(|a| match a.as_str() {
+        "--stats" => {
+            stats = Some(StatsMode::Text);
+            false
+        }
+        "--stats=json" => {
+            stats = Some(StatsMode::Json);
+            false
+        }
+        _ => true,
+    });
     let Some(command) = args.pop_front() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -39,6 +59,12 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    match stats {
+        Some(StatsMode::Text) => eprint!("{}", vapp_obs::current().snapshot().render_text(80)),
+        Some(StatsMode::Json) => println!("{}", vapp_obs::current().snapshot().to_json(&command)),
+        None => {}
+    }
+    vapp_obs::maybe_write_run_snapshot(&command);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -59,8 +85,14 @@ usage:
   vapp encode   [--crf N] [--keyint N] [--bframes N] [--slices N] [--cavlc] IN.vraw OUT.vapp
   vapp decode   IN.vapp OUT.vraw
   vapp analyze  IN.vraw [--crf N]
-  vapp store    IN.vraw [--crf N] [--raw-ber R] [--seed S]
+  vapp store    IN.vraw [--crf N] [--raw-ber R] [--seed S] [--report-json PATH]
   vapp psnr     A.vraw B.vraw
+
+observability (any subcommand):
+  --stats        print the metrics/span summary to stderr after the run
+  --stats=json   print the full observability snapshot as JSON to stdout
+  VAPP_OBS=error|warn|info|debug|trace   enable the stderr event sink
+  VAPP_OBS_OUT=DIR                       write OBS_<command>.json there
 
 scene kinds: blocks fast pan local noise cuts breathing";
 
@@ -266,7 +298,26 @@ fn cmd_analyze(args: VecDeque<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_store(args: VecDeque<String>) -> Result<(), String> {
+/// Removes `--flag VALUE` from the argument list, returning the value.
+fn take_flag_value(args: &mut VecDeque<String>, flag: &str) -> Result<Option<String>, String> {
+    let mut out = None;
+    let mut rest = VecDeque::with_capacity(args.len());
+    while let Some(a) = args.pop_front() {
+        if a == flag {
+            out = Some(
+                args.pop_front()
+                    .ok_or_else(|| format!("{flag} needs a value"))?,
+            );
+        } else {
+            rest.push_back(a);
+        }
+    }
+    *args = rest;
+    Ok(out)
+}
+
+fn cmd_store(mut args: VecDeque<String>) -> Result<(), String> {
+    let report_json = take_flag_value(&mut args, "--report-json")?;
     let (cfg, seed, raw_ber, positional) = encoder_flags(args)?;
     let [input] = positional.as_slice() else {
         return Err("store needs IN.vraw".into());
@@ -306,6 +357,16 @@ fn cmd_store(args: VecDeque<String>) -> Result<(), String> {
         video_psnr(&video, &decoded),
         video_psnr(&video, &processed.reconstruction),
     );
+    if let Some(path) = report_json {
+        let snap = vapp_obs::current().snapshot();
+        let json = format!(
+            "{{\"report\":{},\"obs\":{}}}\n",
+            report.to_json(),
+            snap.to_json("store")
+        );
+        write_file(&path, json.as_bytes())?;
+        println!("  report JSON:        {path}");
+    }
     Ok(())
 }
 
