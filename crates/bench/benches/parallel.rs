@@ -1,0 +1,50 @@
+//! Scaling of the deterministic parallel layer: the same
+//! `measure_loss_curve` workload pinned to 1 / 2 / 4 / 8 workers via
+//! `vapp_par::with_threads`. By the vapp-par invariant the outputs are
+//! byte-identical at every point on this curve — only wall-clock moves —
+//! so the per-worker medians in `BENCH_parallel.json` read directly as a
+//! scaling curve.
+
+use std::hint::black_box;
+use vapp_bench::harness::Criterion;
+use vapp_bench::{criterion_group, criterion_main};
+use vapp_codec::{Encoder, EncoderConfig};
+use vapp_sim::Trials;
+use vapp_workloads::{ClipSpec, SceneKind};
+use videoapp::pipeline::measure_loss_curve;
+
+fn bench_parallel(c: &mut Criterion) {
+    let video = ClipSpec::new(112, 64, 8, SceneKind::MovingBlocks)
+        .seed(7)
+        .generate();
+    let result = Encoder::new(EncoderConfig {
+        keyint: 8,
+        bframes: 2,
+        ..EncoderConfig::default()
+    })
+    .encode(&video);
+    let ranges = [0..result.stream.payload_bits()];
+    let rates = [1e-4, 1e-3];
+
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("loss_curve_w{workers}"), |b| {
+            b.iter(|| {
+                vapp_par::with_threads(workers, || {
+                    black_box(measure_loss_curve(
+                        &result.stream,
+                        &video,
+                        &ranges,
+                        &rates,
+                        Trials::new(8, 42),
+                    ))
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

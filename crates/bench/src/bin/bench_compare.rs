@@ -91,6 +91,14 @@ fn run() -> Result<bool, String> {
             println!("bench-compare: `{name}` missing from current run (skipped)");
         }
     }
+    // New benches have no baseline yet: warn and leave them ungated until
+    // the baseline is regenerated, rather than failing or silently
+    // pretending they were compared.
+    for (name, _) in &cur {
+        if !base.iter().any(|(n, _)| n == name) {
+            println!("bench-compare: `{name}` not in baseline yet (skipped; regenerate baseline)");
+        }
+    }
     if rows.is_empty() {
         return Err("no benches shared between baseline and current run".into());
     }

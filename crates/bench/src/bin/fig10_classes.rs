@@ -30,6 +30,10 @@ fn main() {
     let mut cum_storage = vec![0u64; all_exps.len()];
     let mut total_storage = 0u64;
 
+    // The storage accounting is a cheap sequential pass; it also collects
+    // the (clip, class) Monte Carlo experiments, which then fan out —
+    // each owns its cumulative range list and a per-clip trial seed.
+    let mut units: Vec<(usize, usize, Vec<std::ops::Range<u64>>)> = Vec::new();
     for (ci, p) in prepared.iter().enumerate() {
         let classes = importance_classes(&p.result.analysis, &p.importance);
         total_storage += *payload_layout(&p.result.analysis).last().unwrap();
@@ -45,20 +49,28 @@ fn main() {
                 .filter(|c| c.exp <= exp)
                 .map(|c| c.bits)
                 .sum::<u64>();
-            if ranges.is_empty() {
-                continue;
-            }
-            let curve = measure_loss_curve(
-                &p.result.stream,
-                &p.original,
-                &ranges,
-                &rates,
-                Trials::new(cfg.trials, 2000 + ci as u64),
-            );
-            for (ri, &r) in rates.iter().enumerate() {
-                loss[ei][ri] = loss[ei][ri].min(curve.loss_at(r));
+            if !ranges.is_empty() {
+                units.push((ci, ei, ranges));
             }
         }
+    }
+    let curves = vapp_par::par_map(units, |_, (ci, ei, ranges)| {
+        let p = &prepared[ci];
+        let curve = measure_loss_curve(
+            &p.result.stream,
+            &p.original,
+            &ranges,
+            &rates,
+            Trials::new(cfg.trials, 2000 + ci as u64),
+        );
+        (ei, curve)
+    });
+    for (ei, curve) in curves {
+        for (ri, &r) in rates.iter().enumerate() {
+            loss[ei][ri] = loss[ei][ri].min(curve.loss_at(r));
+        }
+    }
+    for p in &prepared {
         vapp_obs::info!("bench.fig10.clip", "[{}] done", p.name);
     }
 

@@ -47,20 +47,40 @@ fn main() {
 
         let mut sums = [0.0f64; 6]; // cpp/psnr for uniform, variable, ideal
         let mut worst_delta = 0.0f64;
-        for (ci, p) in prepared.iter().enumerate() {
-            let table = PivotTable::build(&p.result.analysis, &p.importance, &policy.thresholds);
-            let store = ApproxStore::new(policy.clone());
-            let report = store.report(&p.result.stream, &table, p.original.total_pixels() as u64);
-            let base_psnr = video_psnr(&p.original, &p.result.reconstruction);
 
-            // Variable correction: simulate the store and decode.
-            let mut variable_psnr = f64::MAX;
-            for t in 0..cfg.trials {
-                let mut rng = vapp_rand::rngs::StdRng::seed_from_u64(5000 + (ci * 97 + t) as u64);
-                let loaded = store.store_load(&p.result.stream, &table, &mut rng);
-                let decoded = decode(&loaded);
-                variable_psnr = variable_psnr.min(video_psnr(&p.original, &decoded));
-            }
+        // Per-clip setup is cheap and sequential; the clip x trial grid of
+        // store/decode rounds fans out (each trial already owns a distinct
+        // seed, so the fold is order-free).
+        let setups: Vec<_> = prepared
+            .iter()
+            .map(|p| {
+                let table =
+                    PivotTable::build(&p.result.analysis, &p.importance, &policy.thresholds);
+                let store = ApproxStore::new(policy.clone());
+                (table, store)
+            })
+            .collect();
+        let units: Vec<(usize, usize)> = (0..prepared.len())
+            .flat_map(|ci| (0..cfg.trials).map(move |t| (ci, t)))
+            .collect();
+        let trial_psnrs = vapp_par::par_map(units, |_, (ci, t)| {
+            let p = &prepared[ci];
+            let (table, store) = &setups[ci];
+            let mut rng = vapp_rand::rngs::StdRng::seed_from_u64(5000 + (ci * 97 + t) as u64);
+            let loaded = store.store_load(&p.result.stream, table, &mut rng);
+            let decoded = decode(&loaded);
+            (ci, video_psnr(&p.original, &decoded))
+        });
+        let mut variable_psnrs = vec![f64::MAX; prepared.len()];
+        for (ci, psnr) in trial_psnrs {
+            variable_psnrs[ci] = variable_psnrs[ci].min(psnr);
+        }
+
+        for (ci, p) in prepared.iter().enumerate() {
+            let (table, store) = &setups[ci];
+            let report = store.report(&p.result.stream, table, p.original.total_pixels() as u64);
+            let base_psnr = video_psnr(&p.original, &p.result.reconstruction);
+            let variable_psnr = variable_psnrs[ci];
             worst_delta = worst_delta.min(variable_psnr - base_psnr);
 
             let px = p.original.total_pixels() as f64;

@@ -95,29 +95,30 @@ pub fn prepare(cfg: &ExpConfig, crf: u8) -> Vec<PreparedClip> {
 }
 
 /// Encodes and analyses every clip with an explicit encoder config.
+///
+/// Clips are independent, so the suite fans out across workers
+/// (`vapp_par`); per-clip wall times still measure the work of that clip
+/// alone (each unit times its own encode/analysis).
 pub fn prepare_with(cfg: &ExpConfig, enc_cfg: EncoderConfig) -> Vec<PreparedClip> {
     let encoder = Encoder::new(enc_cfg);
-    cfg.suite()
-        .into_iter()
-        .map(|clip| {
-            let t0 = Instant::now();
-            let result = encoder.encode(&clip.video);
-            let encode_seconds = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            let graph = DependencyGraph::from_analysis(&result.analysis);
-            let importance = ImportanceMap::compute(&graph);
-            let analysis_seconds = t1.elapsed().as_secs_f64();
-            PreparedClip {
-                name: clip.name,
-                original: clip.video,
-                result,
-                graph,
-                importance,
-                encode_seconds,
-                analysis_seconds,
-            }
-        })
-        .collect()
+    vapp_par::par_map(cfg.suite(), |_, clip| {
+        let t0 = Instant::now();
+        let result = encoder.encode(&clip.video);
+        let encode_seconds = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let graph = DependencyGraph::from_analysis(&result.analysis);
+        let importance = ImportanceMap::compute(&graph);
+        let analysis_seconds = t1.elapsed().as_secs_f64();
+        PreparedClip {
+            name: clip.name,
+            original: clip.video,
+            result,
+            graph,
+            importance,
+            encode_seconds,
+            analysis_seconds,
+        }
+    })
 }
 
 /// The error-rate sweep used by Figures 9 and 10 (x-axes 1e-10…1e-2 and
@@ -175,8 +176,13 @@ pub fn pooled_assignment(
     use std::collections::BTreeMap;
     let mut bits_by_exp: BTreeMap<u32, u64> = BTreeMap::new();
     let mut loss_by_exp: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
-    for p in prepared {
-        for (exp, bits, curve) in class_curves(p, rates, trials) {
+    // Per-clip curves are independent; the pooling fold below is ordered
+    // and stays sequential.
+    let per_clip = vapp_par::par_map(prepared.iter().collect(), |_, p| {
+        class_curves(p, rates, trials)
+    });
+    for clip_curves in per_clip {
+        for (exp, bits, curve) in clip_curves {
             *bits_by_exp.entry(exp).or_insert(0) += bits;
             let entry = loss_by_exp
                 .entry(exp)

@@ -26,7 +26,7 @@
 
 use crate::analysis::{AnalysisRecord, Dependency, FrameAnalysis, MbAnalysis};
 use crate::entropy::{CabacWriter, CavlcWriter, Element, EntropyMode, SymbolWriter};
-use crate::inter::{bi_average, mc_block_sub, ref_rect, sad_against, search_sub};
+use crate::inter::{bi_average, mc_block_sub, ref_rect, sad_against, search_sub, SearchResult};
 use crate::intra::{intra_sources, predict_intra16, predict_intra4, Intra4Avail, IntraAvail};
 use crate::quant::{dequantize, quantize, to_zigzag, MAX_QP};
 use crate::syntax::{EncodedFrame, EncodedVideo, FrameHeader, StreamHeader};
@@ -154,70 +154,87 @@ impl Encoder {
             self.cfg.bframes as usize,
         );
         let grid = MbGrid::for_frame(video.width(), video.height());
-        let padded: Vec<Plane> = video.iter().map(|f| pad_to_mb(f.plane())).collect();
+        let padded: Vec<Plane> =
+            vapp_par::par_map(video.iter().collect(), |_, f| pad_to_mb(f.plane()));
 
         let mut dpb: Vec<Option<Plane>> = vec![None; plans.len()];
         let mut frames = Vec::with_capacity(plans.len());
         let mut analyses = Vec::with_capacity(plans.len());
         let mut recon_display: Vec<Option<Frame>> = vec![None; video.len()];
 
-        for plan in &plans {
-            let cur = &padded[plan.display];
-            let ref_fwd = plan
-                .ref_fwd
-                .map(|ci| dpb[ci].as_ref().expect("fwd ref coded"));
-            let ref_bwd = plan
-                .ref_bwd
-                .map(|ci| dpb[ci].as_ref().expect("bwd ref coded"));
-            let fctx = FrameCtx {
-                cfg: &self.cfg,
-                grid: &grid,
-                plan,
-                cur,
-                ref_fwd,
-                ref_bwd,
+        // Frames encode in coding order, but a run of consecutive B frames
+        // only reads anchors already in the DPB (closed GOPs; B frames are
+        // never references), so each run encodes as one parallel wave.
+        // Anchors encode alone; their per-macroblock candidate pass
+        // parallelises inside `encode_frame` instead. Each frame's output
+        // is a pure function of its sources and references, so the stream
+        // is byte-identical at any worker count.
+        let mut next = 0;
+        while next < plans.len() {
+            let wave_end = if plans[next].frame_type == FrameType::B {
+                plans[next..]
+                    .iter()
+                    .position(|p| p.frame_type != FrameType::B)
+                    .map_or(plans.len(), |off| next + off)
+            } else {
+                next + 1
             };
-            let out = {
+            let outs = vapp_par::par_map(plans[next..wave_end].iter().collect(), |_, plan| {
+                let cur = &padded[plan.display];
+                let ref_fwd = plan
+                    .ref_fwd
+                    .map(|ci| dpb[ci].as_ref().expect("fwd ref coded"));
+                let ref_bwd = plan
+                    .ref_bwd
+                    .map(|ci| dpb[ci].as_ref().expect("bwd ref coded"));
+                let fctx = FrameCtx {
+                    cfg: &self.cfg,
+                    grid: &grid,
+                    plan,
+                    cur,
+                    ref_fwd,
+                    ref_bwd,
+                };
                 let coding = plan.coding;
                 let frame_type = plan.frame_type;
                 let _frame_span = vapp_obs::span!("codec.frame.encode", coding, frame_type);
-                match self.cfg.entropy {
+                let mut out = match self.cfg.entropy {
                     EntropyMode::Cabac => encode_frame(&fctx, CabacWriter::new),
                     EntropyMode::Cavlc => encode_frame(&fctx, CavlcWriter::new),
+                };
+                if self.cfg.deblock {
+                    crate::deblock::deblock_plane(&mut out.recon, frame_qp(&self.cfg, frame_type));
                 }
-            };
-            record_frame_metrics(&out);
-            let header = FrameHeader {
-                coding_index: plan.coding as u32,
-                display_index: plan.display as u32,
-                frame_type: plan.frame_type,
-                qp: frame_qp(&self.cfg, plan.frame_type),
-                ref_fwd: plan.ref_fwd.map(|v| v as u32),
-                ref_bwd: plan.ref_bwd.map(|v| v as u32),
-                slice_lens: out.slice_lens,
-            };
-            let mut recon_frame = out.recon;
-            if self.cfg.deblock {
-                crate::deblock::deblock_plane(
-                    &mut recon_frame,
-                    frame_qp(&self.cfg, plan.frame_type),
-                );
-            }
-            let mut analysis = out.analysis;
-            analysis.coding_index = plan.coding;
-            analysis.display_index = plan.display;
-            analysis.header_bits = header.bit_len();
-            analyses.push(analysis);
-            frames.push(EncodedFrame {
-                header,
-                payload: out.payload,
+                out
             });
-            recon_display[plan.display] = Some(Frame::from_plane(crop(
-                &recon_frame,
-                video.width(),
-                video.height(),
-            )));
-            dpb[plan.coding] = Some(recon_frame);
+            for (plan, out) in plans[next..wave_end].iter().zip(outs) {
+                record_frame_metrics(&out);
+                let header = FrameHeader {
+                    coding_index: plan.coding as u32,
+                    display_index: plan.display as u32,
+                    frame_type: plan.frame_type,
+                    qp: frame_qp(&self.cfg, plan.frame_type),
+                    ref_fwd: plan.ref_fwd.map(|v| v as u32),
+                    ref_bwd: plan.ref_bwd.map(|v| v as u32),
+                    slice_lens: out.slice_lens,
+                };
+                let mut analysis = out.analysis;
+                analysis.coding_index = plan.coding;
+                analysis.display_index = plan.display;
+                analysis.header_bits = header.bit_len();
+                analyses.push(analysis);
+                frames.push(EncodedFrame {
+                    header,
+                    payload: out.payload,
+                });
+                recon_display[plan.display] = Some(Frame::from_plane(crop(
+                    &out.recon,
+                    video.width(),
+                    video.height(),
+                )));
+                dpb[plan.coding] = Some(out.recon);
+            }
+            next = wave_end;
         }
 
         let stream = EncodedVideo {
@@ -543,8 +560,25 @@ where
     let mut slice_starts = Vec::new();
     let mut bins = 0u64;
     let base_qp = frame_qp(ctx.cfg, ctx.plan.frame_type);
+    let slices = slice_rows(grid.mb_rows(), ctx.cfg.slices as usize);
 
-    for &(row_start, row_end) in &slice_rows(grid.mb_rows(), ctx.cfg.slices as usize) {
+    // Parallel candidate pass: every probe that reads only the source and
+    // reference planes (adaptive QP, intra cost probes, the backward full
+    // search) is computed for all macroblocks up front, leaving the
+    // sequential pass below just the state-dependent work. The values are
+    // exactly what the sequential pass would compute inline, so the coded
+    // stream is bit-identical with or without workers.
+    let mut slice_top = vec![0usize; grid.mb_rows()];
+    for &(row_start, row_end) in &slices {
+        slice_top[row_start..row_end].fill(row_start);
+    }
+    let with_bwd = ctx.ref_bwd.is_some() && vapp_par::would_parallelize();
+    let cands = vapp_par::par_map((0..grid.mb_count()).collect(), |_, mb| {
+        let (_, row) = grid.mb_position(mb);
+        mb_candidates(ctx, mb, slice_top[row], base_qp, with_bwd)
+    });
+
+    for &(row_start, row_end) in &slices {
         let mut w = new_writer();
         let slice_base_bits = payload.len() as u64 * 8;
         slice_starts.push(grid.mb_index(0, row_start));
@@ -560,7 +594,7 @@ where
                     &mut states,
                     mb,
                     row_start,
-                    base_qp,
+                    &cands[mb],
                     &mut prev_qp,
                 );
                 mbs[mb] = MbAnalysis {
@@ -607,7 +641,7 @@ fn encode_mb<W: SymbolWriter>(
     states: &mut [MbState],
     mb: usize,
     slice_top_row: usize,
-    base_qp: u8,
+    cand: &MbCandidates,
     prev_qp: &mut u8,
 ) -> (Vec<Dependency>, bool, bool) {
     let grid = ctx.grid;
@@ -626,29 +660,14 @@ fn encode_mb<W: SymbolWriter>(
         &mut cur_block,
     );
 
-    // --- per-MB QP (CRF-like motion-adaptive quantisation) ---
-    let mut qp = base_qp;
+    // Per-MB QP comes from the candidate pass (CRF-like motion-adaptive
+    // quantisation); only the MV prediction is state-dependent.
+    let qp = cand.qp;
     let pred_fwd = mb_mv_pred(states, &nb, true);
-    if ctx.cfg.adaptive_qp && inter_allowed {
-        let activity = ctx.cur.sad(
-            mb_x,
-            mb_y,
-            MB_SIZE,
-            MB_SIZE,
-            ctx.ref_fwd.expect("inter_allowed"),
-            mb_x as isize,
-            mb_y as isize,
-        );
-        if activity > 12 * 256 {
-            qp = (qp + 2).min(MAX_QP);
-        }
-    }
     let lam = lambda(qp);
 
     // --- mode decision ---
-    let mode = decide_mode(
-        ctx, states, &nb, mb, mb_x, mb_y, &cur_block, qp, lam, pred_fwd,
-    );
+    let mode = decide_mode(ctx, mb_x, mb_y, &cur_block, cand, qp, lam, pred_fwd);
 
     // --- write syntax + reconstruct ---
     let avail = IntraAvail {
@@ -953,27 +972,68 @@ fn push_mc_deps(
 
 // ------------------------------------------------------- mode decision --
 
-#[allow(clippy::too_many_arguments)]
-fn decide_mode(
-    ctx: &FrameCtx<'_>,
-    states: &[MbState],
-    nb: &Neighbors,
-    mb: usize,
-    mb_x: usize,
-    mb_y: usize,
-    cur_block: &[u8; 256],
+/// State-independent per-macroblock probes, computed from the source and
+/// reference planes only — never from neighbouring macroblock decisions —
+/// so a whole frame's worth computes in parallel before the sequential
+/// syntax/reconstruction pass consumes them bit-identically.
+struct MbCandidates {
+    /// Per-MB QP after motion-adaptive quantisation.
     qp: u8,
-    lam: u64,
-    pred_fwd: MotionVector,
-) -> MbMode {
+    /// Best intra-16x16 probe: (mode, cost at this MB's λ).
+    best_intra: (IntraMode, u64),
+    /// Intra-4x4 probe cost at this MB's λ.
+    intra4_cost: u64,
+    /// Backward 16x16 full search (B frames), when precomputed. `None`
+    /// means "compute lazily in `decide_mode`" — done when running
+    /// single-threaded, where speculative search for macroblocks that end
+    /// up skipped would be pure overhead.
+    bwd_whole: Option<SearchResult>,
+}
+
+fn mb_candidates(
+    ctx: &FrameCtx<'_>,
+    mb: usize,
+    slice_top_row: usize,
+    base_qp: u8,
+    with_bwd: bool,
+) -> MbCandidates {
     let grid = ctx.grid;
+    let (col, row) = grid.mb_position(mb);
+    let (mb_x, mb_y) = (col * MB_SIZE, row * MB_SIZE);
+    let nb = neighbors(grid, mb, slice_top_row);
     let avail = IntraAvail {
         left: nb.left.is_some(),
         top: nb.above.is_some(),
     };
-    let is_b = ctx.plan.frame_type == FrameType::B;
+    let inter_allowed = ctx.ref_fwd.is_some();
 
-    let _ = (grid, mb, states);
+    let mut cur_block = [0u8; 256];
+    ctx.cur.copy_block(
+        mb_x as isize,
+        mb_y as isize,
+        MB_SIZE,
+        MB_SIZE,
+        &mut cur_block,
+    );
+
+    // --- per-MB QP (CRF-like motion-adaptive quantisation) ---
+    let mut qp = base_qp;
+    if ctx.cfg.adaptive_qp && inter_allowed {
+        let activity = ctx.cur.sad(
+            mb_x,
+            mb_y,
+            MB_SIZE,
+            MB_SIZE,
+            ctx.ref_fwd.expect("inter_allowed"),
+            mb_x as isize,
+            mb_y as isize,
+        );
+        if activity > 12 * 256 {
+            qp = (qp + 2).min(MAX_QP);
+        }
+    }
+    let lam = lambda(qp);
+
     // Intra candidate (always available). The cost probe predicts from the
     // *source* plane — a standard encoder shortcut (the real prediction in
     // encode_mb uses the reconstruction); this only affects mode choice,
@@ -1018,6 +1078,50 @@ fn decide_mode(
         }
         total
     };
+
+    // Backward 16x16 full search: centered on the zero vector, so it
+    // reads only the source and backward reference planes.
+    let bwd_whole = if with_bwd {
+        ctx.ref_bwd.map(|rb| {
+            search_sub(
+                ctx.cur,
+                rb,
+                mb_x,
+                mb_y,
+                MB_SIZE,
+                MB_SIZE,
+                MotionVector::ZERO,
+                ctx.cfg.search_range,
+                ctx.cfg.subpel,
+            )
+        })
+    } else {
+        None
+    };
+
+    MbCandidates {
+        qp,
+        best_intra,
+        intra4_cost,
+        bwd_whole,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decide_mode(
+    ctx: &FrameCtx<'_>,
+    mb_x: usize,
+    mb_y: usize,
+    cur_block: &[u8; 256],
+    cand: &MbCandidates,
+    qp: u8,
+    lam: u64,
+    pred_fwd: MotionVector,
+) -> MbMode {
+    let is_b = ctx.plan.frame_type == FrameType::B;
+
+    let best_intra = cand.best_intra;
+    let intra4_cost = cand.intra4_cost;
     let intra4_better = intra4_cost < best_intra.1;
     let best_intra_cost = best_intra.1.min(intra4_cost);
 
@@ -1073,19 +1177,24 @@ fn decide_mode(
         ctx.cfg.search_range,
         sp,
     );
-    let bwd_whole = ctx.ref_bwd.map(|rb| {
-        search_sub(
-            ctx.cur,
-            rb,
-            mb_x,
-            mb_y,
-            MB_SIZE,
-            MB_SIZE,
-            MotionVector::ZERO,
-            ctx.cfg.search_range,
-            sp,
-        )
-    });
+    // Use the precomputed backward search when the candidate pass ran it;
+    // fall back to the identical inline search otherwise.
+    let bwd_whole = match cand.bwd_whole {
+        some @ Some(_) => some,
+        None => ctx.ref_bwd.map(|rb| {
+            search_sub(
+                ctx.cur,
+                rb,
+                mb_x,
+                mb_y,
+                MB_SIZE,
+                MB_SIZE,
+                MotionVector::ZERO,
+                ctx.cfg.search_range,
+                sp,
+            )
+        }),
+    };
 
     let shapes = [
         PartShape::P16x16,

@@ -1,0 +1,34 @@
+//! The encoder's parallel paths (B-frame waves, the per-macroblock
+//! candidate pass) must never change the coded stream: one worker or
+//! eight, the bytes are identical.
+
+use vapp_codec::{Encoder, EncoderConfig, EntropyMode};
+use vapp_workloads::{ClipSpec, SceneKind};
+
+#[test]
+fn encoded_stream_is_thread_count_invariant() {
+    let video = ClipSpec::new(96, 64, 10, SceneKind::MovingBlocks)
+        .seed(21)
+        .generate();
+    for entropy in [EntropyMode::Cabac, EntropyMode::Cavlc] {
+        let cfg = EncoderConfig {
+            keyint: 6,
+            bframes: 2,
+            entropy,
+            ..Default::default()
+        };
+        let enc = Encoder::new(cfg);
+        let seq = vapp_par::with_threads(1, || enc.encode(&video));
+        let par = vapp_par::with_threads(8, || enc.encode(&video));
+        assert_eq!(seq.stream, par.stream, "{entropy:?} stream differs");
+        assert_eq!(
+            seq.reconstruction, par.reconstruction,
+            "{entropy:?} reconstruction differs"
+        );
+        assert_eq!(
+            seq.analysis.frames.len(),
+            par.analysis.frames.len(),
+            "{entropy:?} analysis differs"
+        );
+    }
+}

@@ -16,8 +16,8 @@ use vapp_codec::{bitstream, decode, EncodedVideo};
 use vapp_media::Video;
 use vapp_metrics::{prob_any_flip, video_psnr};
 use vapp_rand::rngs::StdRng;
-use vapp_rand::RngExt;
-use vapp_sim::{pick_k_positions, pick_positions, pick_positions_forced};
+use vapp_rand::{RngExt, SeedableRng};
+use vapp_sim::{derive_subseeds, pick_k_positions, pick_positions, pick_positions_forced};
 use vapp_storage::bch::{Bch, DecodeOutcome, DATA_BITS};
 use vapp_storage::bits::BitBuf;
 use vapp_storage::density;
@@ -64,10 +64,34 @@ impl StoragePolicy {
     }
 }
 
+/// Names of the four per-level observability counters, precomputed once
+/// per store so `store_load` does not allocate format strings per call.
+#[derive(Clone, Debug)]
+struct LevelCounterNames {
+    stored_bits: String,
+    flips: String,
+    corrected: String,
+    uncorrectable: String,
+}
+
+impl LevelCounterNames {
+    fn new(level: usize) -> Self {
+        LevelCounterNames {
+            stored_bits: format!("core.level.{level}.stored_bits"),
+            flips: format!("core.level.{level}.flips"),
+            corrected: format!("core.level.{level}.corrected"),
+            uncorrectable: format!("core.level.{level}.uncorrectable"),
+        }
+    }
+}
+
 /// The approximate store.
 #[derive(Clone, Debug)]
 pub struct ApproxStore {
     policy: StoragePolicy,
+    /// One entry per ladder level (extra pivot levels fall back to an
+    /// on-the-spot build in `store_load`, a cold path).
+    level_names: Vec<LevelCounterNames>,
 }
 
 impl ApproxStore {
@@ -82,7 +106,13 @@ impl ApproxStore {
             (0.0..=1.0).contains(&policy.raw_ber),
             "raw BER must be a probability"
         );
-        ApproxStore { policy }
+        let level_names = (0..policy.ladder_levels.len())
+            .map(LevelCounterNames::new)
+            .collect();
+        ApproxStore {
+            policy,
+            level_names,
+        }
     }
 
     /// The policy in use.
@@ -103,30 +133,37 @@ impl ApproxStore {
         let exact_bch = self.policy.exact_bch;
         let _span = vapp_obs::span!("core.store.load", raw_ber, exact_bch);
         let mut streams = split_streams(stream, table);
-        let reg = vapp_obs::current();
-        for level in 0..streams.level_data.len() {
-            let scheme = self.policy.scheme_for_level(level);
-            let bits = streams.level_bits[level];
-            let stats = {
+        // One sub-seed per protection level, derived up front from a
+        // single master draw: each level's corruption is a pure function
+        // of `(master, level)`, so the levels can run on any number of
+        // workers — and in any order — with byte-identical results.
+        let master = rng.random::<u64>();
+        let level_seeds = derive_subseeds(master, streams.level_data.len());
+        let level_bits = streams.level_bits.clone();
+        let stats: Vec<CorruptStats> = vapp_par::par_map(
+            streams.level_data.iter_mut().enumerate().collect(),
+            |_, (level, data)| {
+                let scheme = self.policy.scheme_for_level(level);
+                let bits = level_bits[level];
                 let _lvl_span = vapp_obs::span!("core.level.corrupt", level, scheme, bits);
-                corrupt_stream_bits(
-                    &mut streams.level_data[level],
-                    bits,
-                    scheme,
-                    raw_ber,
-                    exact_bch,
-                    rng,
-                )
+                corrupt_stream_bits(data, bits, scheme, raw_ber, exact_bch, level_seeds[level])
+            },
+        );
+        let reg = vapp_obs::current();
+        for (level, st) in stats.iter().enumerate() {
+            let extra; // fallback for pivot levels beyond the ladder
+            let names = match self.level_names.get(level) {
+                Some(n) => n,
+                None => {
+                    extra = LevelCounterNames::new(level);
+                    &extra
+                }
             };
-            reg.counter(&format!("core.level.{level}.stored_bits"))
-                .add(bits);
-            reg.counter(&format!("core.level.{level}.flips"))
-                .add(stats.flips);
-            reg.counter(&format!("core.level.{level}.corrected"))
-                .add(stats.corrected);
-            reg.counter(&format!("core.level.{level}.uncorrectable"))
-                .add(stats.uncorrectable);
-            reg.counter("core.flips.injected").add(stats.flips);
+            reg.counter(&names.stored_bits).add(level_bits[level]);
+            reg.counter(&names.flips).add(st.flips);
+            reg.counter(&names.corrected).add(st.corrected);
+            reg.counter(&names.uncorrectable).add(st.uncorrectable);
+            reg.counter("core.flips.injected").add(st.flips);
         }
         merge_streams(stream, table, &streams)
     }
@@ -198,14 +235,18 @@ struct CorruptStats {
 }
 
 /// Corrupts one protection stream in place (MSB-first bit order, matching
-/// the codec payloads) and returns the corruption tally.
+/// the codec payloads) and returns the corruption tally. The stream's
+/// whole corruption derives from `seed`: the unprotected and analytic
+/// paths run one private `StdRng` off it, and the exact-BCH path expands
+/// it into one sub-seed per 512-bit block so blocks corrupt in parallel
+/// with thread-count-invariant results.
 fn corrupt_stream_bits(
     data: &mut [u8],
     bits: u64,
     scheme: EcScheme,
     raw_ber: f64,
     exact: bool,
-    rng: &mut StdRng,
+    seed: u64,
 ) -> CorruptStats {
     let mut stats = CorruptStats::default();
     if bits == 0 || raw_ber == 0.0 {
@@ -213,7 +254,8 @@ fn corrupt_stream_bits(
     }
     match scheme {
         EcScheme::None => {
-            for pos in pick_positions(&[0..bits], raw_ber, rng) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for pos in pick_positions(&[0..bits], raw_ber, &mut rng) {
                 bitstream::flip_bit(data, pos);
                 stats.flips += 1;
             }
@@ -225,6 +267,7 @@ fn corrupt_stream_bits(
             let code = Bch::new(t as usize);
             let q = vapp_storage::uber::block_failure_rate(&code, raw_ber);
             let blocks = bits.div_ceil(DATA_BITS as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
             for b in 0..blocks {
                 if !rng.random_bool(q) {
                     continue;
@@ -232,14 +275,13 @@ fn corrupt_stream_bits(
                 stats.uncorrectable += 1;
                 let start = b * DATA_BITS as u64;
                 let end = ((b + 1) * DATA_BITS as u64).min(bits);
-                for pos in pick_k_positions(&[start..end], t as u64 + 1, rng) {
+                for pos in pick_k_positions(&[start..end], t as u64 + 1, &mut rng) {
                     bitstream::flip_bit(data, pos);
                     stats.flips += 1;
                 }
             }
             // Corrected-block tally for this mode is the binomial
-            // expectation, computed deterministically so the analytic
-            // simulator consumes exactly as many RNG draws as before.
+            // expectation, computed deterministically — no extra draws.
             let p_corr = vapp_storage::uber::block_correction_rate(&code, raw_ber);
             stats.corrected =
                 ((blocks as f64 * p_corr).round() as u64).min(blocks - stats.uncorrectable);
@@ -252,36 +294,48 @@ fn corrupt_stream_bits(
                 .add(stats.uncorrectable);
         }
         EcScheme::Bch(t) => {
-            // Exact model: run the real code per block. The BCH decoder
+            // Exact model: run the real code per block, one sub-seed per
+            // block so the blocks corrupt in parallel. The BCH decoder
             // tallies the global `storage.bch.*` outcome counters itself.
             let code = Bch::new(t as usize);
             let blocks = bits.div_ceil(DATA_BITS as u64);
             vapp_obs::counter!("storage.bch.blocks", blocks);
-            for b in 0..blocks {
-                let start = b * DATA_BITS as u64;
-                let end = ((b + 1) * DATA_BITS as u64).min(bits);
+            let block_seeds = derive_subseeds(seed, blocks as usize);
+            let used = (bits.div_ceil(8) as usize).min(data.len());
+            let per_block = vapp_par::par_chunks(&mut data[..used], DATA_BITS / 8, |b, chunk| {
+                let start = b as u64 * DATA_BITS as u64;
+                let nbits = ((b as u64 + 1) * DATA_BITS as u64).min(bits) - start;
+                let mut st = CorruptStats::default();
                 let mut block = BitBuf::zeroed(DATA_BITS);
-                for (j, pos) in (start..end).enumerate() {
-                    block.set(j, msb_get(data, pos));
+                for j in 0..nbits {
+                    block.set(j as usize, msb_get(chunk, j));
                 }
                 let mut cw = code.encode(&block);
-                let flips = pick_positions(&[0..cw.len() as u64], raw_ber, rng);
-                stats.flips += flips.len() as u64;
+                let mut rng = StdRng::seed_from_u64(block_seeds[b]);
+                let flips = pick_positions(&[0..cw.len() as u64], raw_ber, &mut rng);
+                st.flips = flips.len() as u64;
                 for f in &flips {
                     cw.flip(*f as usize);
                 }
                 match code.decode(&mut cw) {
-                    DecodeOutcome::Clean => stats.clean += 1,
-                    DecodeOutcome::Corrected(_) => stats.corrected += 1,
+                    DecodeOutcome::Clean => st.clean = 1,
+                    DecodeOutcome::Corrected(_) => st.corrected = 1,
                     DecodeOutcome::Uncorrectable => {
-                        stats.uncorrectable += 1;
+                        st.uncorrectable = 1;
                         // Deliver the damaged data bits as read.
                         let dirty = code.extract_data(&cw);
-                        for (j, pos) in (start..end).enumerate() {
-                            msb_set(data, pos, dirty.get(j));
+                        for j in 0..nbits {
+                            msb_set(chunk, j, dirty.get(j as usize));
                         }
                     }
                 }
+                st
+            });
+            for st in per_block {
+                stats.flips += st.flips;
+                stats.clean += st.clean;
+                stats.corrected += st.corrected;
+                stats.uncorrectable += st.uncorrectable;
             }
         }
     }
@@ -407,7 +461,10 @@ impl PipelineReport {
 }
 
 /// Flips payload bits of a stream at *global* payload positions (the
-/// address space of [`crate::classes::payload_layout`]).
+/// address space of [`crate::classes::payload_layout`]). Positions at or
+/// past the total payload size are an explicit no-op — they belong to no
+/// frame, and clamping them onto the last frame would flip past its
+/// payload.
 pub fn flip_global_bits(stream: &mut EncodedVideo, positions: &[u64]) {
     let mut bases = Vec::with_capacity(stream.frames.len() + 1);
     let mut acc = 0u64;
@@ -417,13 +474,14 @@ pub fn flip_global_bits(stream: &mut EncodedVideo, positions: &[u64]) {
     }
     bases.push(acc);
     for &pos in positions {
-        let frame = match bases.binary_search(&pos) {
-            Ok(i) => i.min(stream.frames.len() - 1),
-            Err(i) => i - 1,
-        };
-        if frame < stream.frames.len() {
-            bitstream::flip_bit(&mut stream.frames[frame].payload, pos - bases[frame]);
+        if pos >= acc {
+            continue;
         }
+        // Last frame whose base is <= pos; `partition_point` (unlike
+        // `binary_search` on duplicate bases from zero-payload frames)
+        // always lands on the frame that actually owns the bit.
+        let frame = bases.partition_point(|&b| b <= pos) - 1;
+        bitstream::flip_bit(&mut stream.frames[frame].payload, pos - bases[frame]);
     }
 }
 
@@ -566,6 +624,21 @@ mod tests {
         flip_global_bits(&mut dirty, &[base1]); // first bit of frame 1
         assert_eq!(dirty.frames[0].payload, stream.frames[0].payload);
         assert_ne!(dirty.frames[1].payload, stream.frames[1].payload);
+    }
+
+    #[test]
+    fn flip_global_bits_ignores_out_of_range_positions() {
+        let (stream, _, _) = setup();
+        let total = stream.payload_bits();
+        let mut dirty = stream.clone();
+        // One position exactly at the end of the payload space, one past
+        // it: both must be no-ops (the old clamp flipped bits past the
+        // last frame's payload).
+        flip_global_bits(&mut dirty, &[total, total + 17, u64::MAX]);
+        assert_eq!(dirty, stream);
+        // In-range positions still land, alongside out-of-range ones.
+        flip_global_bits(&mut dirty, &[total - 1, total]);
+        assert_ne!(dirty, stream);
     }
 
     #[test]

@@ -96,24 +96,32 @@ pub fn split_streams(stream: &EncodedVideo, table: &PivotTable) -> ProtectedStre
     );
     let levels = table.levels as usize;
     let _span = vapp_obs::span!("core.streams.split", levels);
-    let mut bits: Vec<Vec<bool>> = vec![Vec::new(); levels];
-    for (frame, fp) in stream.frames.iter().zip(&table.frames) {
-        for (range, level) in fp.level_spans() {
-            let sink = &mut bits[(level as usize).min(levels - 1)];
-            for i in range {
-                sink.push(get_bit(&frame.payload, i));
+    // Levels extract independently: each worker walks the span list once,
+    // copying its own level's bits and skipping foreign spans in O(1), so
+    // the per-worker cost is its stream's bits plus the span count.
+    let per_level = vapp_par::par_map((0..levels).collect(), |_, li| {
+        let mut bits: Vec<bool> = Vec::new();
+        for (frame, fp) in stream.frames.iter().zip(&table.frames) {
+            for (range, level) in fp.level_spans() {
+                if (level as usize).min(levels - 1) != li {
+                    continue;
+                }
+                for i in range {
+                    bits.push(get_bit(&frame.payload, i));
+                }
             }
         }
-    }
-    let mut level_data = Vec::with_capacity(levels);
-    let mut level_bits = Vec::with_capacity(levels);
-    for stream_bits in bits {
-        let mut bytes = vec![0u8; stream_bits.len().div_ceil(8)];
-        for (i, &b) in stream_bits.iter().enumerate() {
+        let mut bytes = vec![0u8; bits.len().div_ceil(8)];
+        for (i, &b) in bits.iter().enumerate() {
             set_bit(&mut bytes, i as u64, b);
         }
-        level_bits.push(stream_bits.len() as u64);
+        (bytes, bits.len() as u64)
+    });
+    let mut level_data = Vec::with_capacity(levels);
+    let mut level_bits = Vec::with_capacity(levels);
+    for (bytes, nbits) in per_level {
         level_data.push(bytes);
+        level_bits.push(nbits);
     }
     ProtectedStreams {
         level_data,
@@ -142,16 +150,15 @@ pub fn merge_streams(
     let levels = table.levels as usize;
     assert_eq!(streams.level_data.len(), levels, "level count mismatch");
     let _span = vapp_obs::span!("core.streams.merge", levels);
+    // Frames write disjoint payloads, so they merge in parallel once a
+    // cheap sequential prefix pass has fixed each frame's starting cursor
+    // into every level stream.
     let mut cursors = vec![0u64; levels];
-    let mut out = template.clone();
-    for (frame, fp) in out.frames.iter_mut().zip(&table.frames) {
+    let mut frame_starts = Vec::with_capacity(table.frames.len());
+    for fp in &table.frames {
+        frame_starts.push(cursors.clone());
         for (range, level) in fp.level_spans() {
-            let li = (level as usize).min(levels - 1);
-            for i in range {
-                let bit = get_bit(&streams.level_data[li], cursors[li]);
-                set_bit(&mut frame.payload, i, bit);
-                cursors[li] += 1;
-            }
+            cursors[(level as usize).min(levels - 1)] += range.end - range.start;
         }
     }
     for (li, &used) in cursors.iter().enumerate() {
@@ -160,6 +167,24 @@ pub fn merge_streams(
             "stream {li} length mismatch on merge"
         );
     }
+    let mut out = template.clone();
+    vapp_par::par_map(
+        out.frames
+            .iter_mut()
+            .zip(&table.frames)
+            .zip(frame_starts)
+            .collect(),
+        |_, ((frame, fp), mut cur)| {
+            for (range, level) in fp.level_spans() {
+                let li = (level as usize).min(levels - 1);
+                for i in range {
+                    let bit = get_bit(&streams.level_data[li], cur[li]);
+                    set_bit(&mut frame.payload, i, bit);
+                    cur[li] += 1;
+                }
+            }
+        },
+    );
     out
 }
 

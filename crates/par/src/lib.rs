@@ -1,0 +1,320 @@
+//! Deterministic data parallelism on `std::thread::scope`.
+//!
+//! Every hot loop in this workspace fans out through [`par_map`] /
+//! [`par_chunks`]: order-preserving, panic-propagating, and — because the
+//! units they run are seeded with sub-seeds derived *up front* — the
+//! results are a pure function of the inputs, byte-identical at any
+//! worker count. Parallelism here changes wall-clock only, never output;
+//! the tier-1 determinism tests lock that invariant in.
+//!
+//! # Worker count
+//!
+//! Resolution order (first match wins):
+//!
+//! 1. a [`with_threads`] scope on the calling thread (tests, scaling
+//!    benches);
+//! 2. a process-wide [`set_threads`] override (the `vapp --threads`
+//!    flag);
+//! 3. the `VAPP_THREADS` environment variable (read once; invalid or
+//!    `0` means "auto");
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! A resolved count of `1` disables spawning entirely — the closure runs
+//! inline on the caller, so single-threaded runs have zero threading
+//! overhead and identical stack traces.
+//!
+//! # Observability inheritance
+//!
+//! Workers install the parent thread's current scoped registry
+//! ([`vapp_obs::registry::with_registry`]) before running any unit, so
+//! counters and spans recorded inside a parallel region land in the same
+//! registry the caller sees — `vapp-check` cases and test-local
+//! registries keep working. Counter totals are thread-count-invariant
+//! (atomics commute); only span timeline *order* may vary.
+//!
+//! # Nesting
+//!
+//! A `par_map` issued from inside a worker runs sequentially: the outer
+//! fan-out already owns the cores, and nested spawning would oversubscribe
+//! without changing any result (by the determinism invariant above).
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`].
+    static SCOPED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside workers so nested parallel calls run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Process-wide override (0 = unset). Set by the `vapp --threads` flag.
+static PROCESS_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// `VAPP_THREADS`, parsed once. `None` when unset, empty, invalid or `0`.
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("VAPP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Hardware parallelism, defaulting to 1 when unknown.
+pub fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sets (or with `None` clears) the process-wide worker-count override.
+pub fn set_threads(n: Option<usize>) {
+    PROCESS_THREADS.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread (and any
+/// parallel region it opens). Scopes nest; the innermost wins.
+pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCOPED_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(SCOPED_THREADS.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Whether a parallel region opened here would actually fan out — false
+/// with one effective worker or from inside a worker (nested regions run
+/// inline). Callers use this to gate *speculative* precomputation that
+/// only pays for itself when spread across workers; gating it never
+/// changes results, only where the same values get computed.
+pub fn would_parallelize() -> bool {
+    effective_threads() > 1 && !IN_WORKER.with(Cell::get)
+}
+
+/// The worker count a parallel region opened here would use.
+pub fn effective_threads() -> usize {
+    if let Some(n) = SCOPED_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
+    let p = PROCESS_THREADS.load(Ordering::Relaxed);
+    if p > 0 {
+        return p;
+    }
+    env_threads().unwrap_or_else(available)
+}
+
+/// Maps `f` over `items` on up to [`effective_threads`] workers,
+/// returning results in input order. `f` receives the item's index and
+/// the item. Workers inherit the caller's current obs registry; a panic
+/// in any unit aborts the region and is re-raised on the caller with its
+/// original payload.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = effective_threads().min(n);
+    if workers <= 1 || IN_WORKER.with(Cell::get) {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let reg = vapp_obs::current();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let reg = reg.clone();
+            let slots = &slots;
+            let results = &results;
+            let cursor = &cursor;
+            let poisoned = &poisoned;
+            let panic_payload = &panic_payload;
+            let f = &f;
+            s.spawn(move || {
+                vapp_obs::registry::with_registry(reg, || {
+                    IN_WORKER.with(|c| c.set(true));
+                    loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= slots.len() {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("item slot lock")
+                            .take()
+                            .expect("each item is claimed exactly once");
+                        match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                            Ok(r) => *results[i].lock().expect("result slot lock") = Some(r),
+                            Err(p) => {
+                                poisoned.store(true, Ordering::Relaxed);
+                                let mut first = panic_payload.lock().expect("panic slot lock");
+                                if first.is_none() {
+                                    *first = Some(p);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                });
+            });
+        }
+    });
+
+    if let Some(p) = panic_payload.into_inner().expect("panic slot lock") {
+        resume_unwind(p);
+    }
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot lock")
+                .expect("every unit produced a result")
+        })
+        .collect()
+}
+
+/// Splits `data` into disjoint chunks of `chunk_size` (the last may be
+/// shorter) and maps `f` over them in parallel, returning per-chunk
+/// results in chunk order. `f` receives the chunk index and the chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+pub fn par_chunks<T, R, F>(data: &mut [T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    par_map(data.chunks_mut(chunk_size).collect(), |i, chunk| {
+        f(i, chunk)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn par_map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = with_threads(threads, || {
+                par_map(items.clone(), |i, x| {
+                    assert_eq!(i as u64, x);
+                    x * x + 1
+                })
+            });
+            assert_eq!(got, expect, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_sees_disjoint_chunks_in_order() {
+        let mut data: Vec<u32> = (0..100).collect();
+        let sums = with_threads(4, || {
+            par_chunks(&mut data, 7, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1;
+                }
+                (i, chunk.iter().map(|&v| u64::from(v)).sum::<u64>())
+            })
+        });
+        assert_eq!(sums.len(), 100usize.div_ceil(7));
+        assert!(sums.iter().enumerate().all(|(i, &(j, _))| i == j));
+        let expect: Vec<u32> = (1..101).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn panic_payload_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map((0..64).collect::<Vec<u32>>(), |_, x| {
+                    assert!(x != 17, "unit seventeen exploded");
+                    x
+                })
+            })
+        });
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("seventeen"), "payload lost: {msg}");
+    }
+
+    #[test]
+    fn workers_inherit_scoped_registry() {
+        let reg = Arc::new(vapp_obs::Registry::new());
+        vapp_obs::registry::with_registry(reg.clone(), || {
+            with_threads(4, || {
+                par_map((0..40).collect::<Vec<u32>>(), |_, _| {
+                    vapp_obs::current().counter("par.test.units").add(1);
+                })
+            });
+        });
+        assert_eq!(reg.counter("par.test.units").get(), 40);
+        // The parallel region recorded into the scoped registry, not the
+        // global one.
+        assert_eq!(vapp_obs::global().counter("par.test.units").get(), 0);
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline_and_stays_correct() {
+        let got = with_threads(4, || {
+            par_map((0..8u64).collect::<Vec<_>>(), |_, outer| {
+                par_map((0..8u64).collect::<Vec<_>>(), |_, inner| outer * 10 + inner)
+                    .into_iter()
+                    .sum::<u64>()
+            })
+        });
+        let expect: Vec<u64> = (0..8).map(|o| (0..8).map(|i| o * 10 + i).sum()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn thread_count_resolution_order() {
+        set_threads(Some(3));
+        assert_eq!(effective_threads(), 3);
+        // A scope beats the process override.
+        with_threads(5, || assert_eq!(effective_threads(), 5));
+        assert_eq!(effective_threads(), 3);
+        set_threads(None);
+        assert!(effective_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(empty, |_, x: u32| x).is_empty());
+        assert_eq!(
+            with_threads(8, || par_map(vec![9], |i, x| (i, x))),
+            vec![(0, 9)]
+        );
+    }
+}

@@ -25,10 +25,20 @@
 use std::collections::BTreeSet;
 use std::ops::Range;
 use vapp_rand::rngs::StdRng;
-use vapp_rand::{RngExt, SeedableRng};
+use vapp_rand::{RngCore, RngExt, SeedableRng, SplitMix64};
 
 /// The paper's trial count per (video, error-rate) point.
 pub const DEFAULT_TRIALS: usize = 30;
+
+/// Expands a master seed into `count` independent sub-seeds by streaming
+/// SplitMix64. Deriving every sub-seed *up front* makes unit `i`'s RNG
+/// stream a pure function of `(master_seed, i)` — independent of how many
+/// units run, in what order, or on which thread — which is the invariant
+/// the parallel refactor locks in (see DESIGN.md §8).
+pub fn derive_subseeds(master_seed: u64, count: usize) -> Vec<u64> {
+    let mut sm = SplitMix64::new(master_seed);
+    (0..count).map(|_| sm.next_u64()).collect()
+}
 
 /// Samples the number of flips among `n_bits` independent bits at per-bit
 /// rate `rate`. Uses a Poisson sampler (exact Knuth below λ=30, normal
@@ -173,18 +183,17 @@ impl Trials {
     }
 
     /// Runs `f` once per trial with a trial-specific RNG, collecting the
-    /// returned measurements.
-    pub fn run<T>(&self, mut f: impl FnMut(usize, &mut StdRng) -> T) -> Vec<T> {
+    /// returned measurements in trial order. Trials fan out across
+    /// [`vapp_par`] workers; each trial's RNG is seeded from a SplitMix64
+    /// sub-seed derived up front, so the result vector is byte-identical
+    /// at any `VAPP_THREADS` setting.
+    pub fn run<T: Send>(&self, f: impl Fn(usize, &mut StdRng) -> T + Sync) -> Vec<T> {
         let trials = self.count;
         let _span = vapp_obs::span!("sim.trials.run", trials);
-        (0..self.count)
-            .map(|i| {
-                let mut rng = StdRng::seed_from_u64(
-                    self.master_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                f(i, &mut rng)
-            })
-            .collect()
+        vapp_par::par_map(derive_subseeds(self.master_seed, self.count), |i, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            f(i, &mut rng)
+        })
     }
 }
 
@@ -279,6 +288,25 @@ mod tests {
         assert_eq!(a, b);
         // Different trials see different streams.
         assert_ne!(a[0].1, a[1].1);
+    }
+
+    #[test]
+    fn subseeds_are_stable_and_distinct() {
+        let a = derive_subseeds(7, 16);
+        assert_eq!(a, derive_subseeds(7, 16));
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 16, "sub-seeds must not collide");
+        assert_ne!(a, derive_subseeds(8, 16));
+    }
+
+    #[test]
+    fn trials_are_thread_count_invariant() {
+        let t = Trials::new(9, 1234);
+        let seq = vapp_par::with_threads(1, || t.run(|i, rng| (i, rng.random::<u64>())));
+        let par = vapp_par::with_threads(8, || t.run(|i, rng| (i, rng.random::<u64>())));
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -29,6 +29,22 @@ enum StatsMode {
 
 fn main() -> ExitCode {
     let mut args: VecDeque<String> = std::env::args().skip(1).collect();
+    // `--threads` is global: it pins the worker count of every parallel
+    // region for the whole run (beats `VAPP_THREADS`; `1` = sequential).
+    match take_flag_value(&mut args, "--threads") {
+        Ok(Some(v)) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => vapp_par::set_threads(Some(n)),
+            _ => {
+                eprintln!("error: --threads: expected a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     // Observability flags are global: valid on every subcommand.
     let mut stats = None;
     args.retain(|a| match a.as_str() {
@@ -87,6 +103,10 @@ usage:
   vapp analyze  IN.vraw [--crf N]
   vapp store    IN.vraw [--crf N] [--raw-ber R] [--seed S] [--report-json PATH]
   vapp psnr     A.vraw B.vraw
+
+parallelism (any subcommand; outputs are identical at any worker count):
+  --threads N    pin parallel regions to N workers (1 = fully sequential)
+  VAPP_THREADS=N same, via the environment (the flag wins)
 
 observability (any subcommand):
   --stats        print the metrics/span summary to stderr after the run

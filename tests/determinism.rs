@@ -1,0 +1,123 @@
+//! Tier-1 determinism: parallelism changes wall-clock, never results.
+//!
+//! Every RNG-consuming pipeline stage derives per-unit sub-seeds up
+//! front (`vapp_sim::derive_subseeds`), so its output is a pure function
+//! of the master seed — byte-identical at any worker count. These tests
+//! pin that invariant by running each stage under `with_threads(1)` and
+//! `with_threads(8)` and comparing outputs bit for bit, plus the
+//! observability counters the parallel regions record (atomics commute,
+//! so totals must reconcile exactly).
+
+use std::sync::Arc;
+
+use vapp_codec::{EncodeResult, Encoder, EncoderConfig};
+use vapp_obs::registry::with_registry;
+use vapp_obs::Registry;
+use vapp_rand::rngs::StdRng;
+use vapp_rand::{RngExt, SeedableRng};
+use vapp_sim::Trials;
+use vapp_workloads::{ClipSpec, SceneKind};
+use videoapp::pipeline::measure_loss_curve;
+use videoapp::{ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy};
+
+fn fixture() -> (vapp_media::Video, EncodeResult, PivotTable) {
+    let video = ClipSpec::new(96, 64, 8, SceneKind::MovingBlocks)
+        .seed(11)
+        .generate();
+    let result = Encoder::new(EncoderConfig {
+        keyint: 8,
+        bframes: 2,
+        ..EncoderConfig::default()
+    })
+    .encode(&video);
+    let imp = ImportanceMap::compute(&DependencyGraph::from_analysis(&result.analysis));
+    let table = PivotTable::build(&result.analysis, &imp, &[4.0, 64.0]);
+    (video, result, table)
+}
+
+#[test]
+fn trials_run_is_thread_count_invariant() {
+    let trials = Trials::new(13, 99);
+    let seq = vapp_par::with_threads(1, || trials.run(|i, rng| (i, rng.random::<u64>())));
+    let par = vapp_par::with_threads(8, || trials.run(|i, rng| (i, rng.random::<u64>())));
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn store_load_is_thread_count_invariant_and_counters_reconcile() {
+    let (_video, result, table) = fixture();
+    let ladder = vec![EcScheme::None, EcScheme::Bch(6), EcScheme::Bch(10)];
+    for exact in [false, true] {
+        let policy = StoragePolicy {
+            ladder_levels: ladder.clone(),
+            thresholds: vec![4.0, 64.0],
+            raw_ber: 1e-3,
+            exact_bch: exact,
+        };
+        let run = |threads: usize, reg: Arc<Registry>| {
+            with_registry(reg, || {
+                vapp_par::with_threads(threads, || {
+                    let store = ApproxStore::new(policy.clone());
+                    let mut rng = StdRng::seed_from_u64(7);
+                    store.store_load(&result.stream, &table, &mut rng)
+                })
+            })
+        };
+        let reg1 = Arc::new(Registry::new());
+        let reg8 = Arc::new(Registry::new());
+        let seq = run(1, reg1.clone());
+        let par = run(8, reg8.clone());
+        assert_eq!(seq, par, "exact={exact}: loaded stream differs");
+
+        for (label, reg) in [("1 thread", &reg1), ("8 threads", &reg8)] {
+            // Per-level flip tallies partition the global injected count.
+            let injected = reg.counter("core.flips.injected").get();
+            let per_level: u64 = (0..ladder.len())
+                .map(|l| reg.counter(&format!("core.level.{l}.flips")).get())
+                .sum();
+            assert_eq!(per_level, injected, "exact={exact} {label}: flip partition");
+            // Every BCH block decodes to exactly one outcome.
+            let blocks = reg.counter("storage.bch.blocks").get();
+            assert!(blocks > 0, "exact={exact} {label}: no blocks recorded");
+            let outcomes = reg.counter("storage.bch.clean").get()
+                + reg.counter("storage.bch.corrected").get()
+                + reg.counter("storage.bch.uncorrectable").get();
+            assert_eq!(outcomes, blocks, "exact={exact} {label}: block partition");
+        }
+        // Both worker counts recorded identical totals.
+        for name in [
+            "core.flips.injected",
+            "storage.bch.blocks",
+            "storage.bch.clean",
+            "storage.bch.corrected",
+            "storage.bch.uncorrectable",
+        ] {
+            assert_eq!(
+                reg1.counter(name).get(),
+                reg8.counter(name).get(),
+                "exact={exact}: `{name}` differs across worker counts"
+            );
+        }
+    }
+}
+
+#[test]
+fn loss_curve_is_thread_count_invariant() {
+    let (video, result, _table) = fixture();
+    let ranges = [0..result.stream.payload_bits()];
+    let rates = [1e-4, 1e-3, 1e-2];
+    let trials = Trials::new(4, 55);
+    let seq = vapp_par::with_threads(1, || {
+        measure_loss_curve(&result.stream, &video, &ranges, &rates, trials)
+    });
+    let par = vapp_par::with_threads(8, || {
+        measure_loss_curve(&result.stream, &video, &ranges, &rates, trials)
+    });
+    for &r in &rates {
+        assert_eq!(
+            seq.loss_at(r).to_bits(),
+            par.loss_at(r).to_bits(),
+            "rate {r}: loss differs across worker counts"
+        );
+    }
+}
