@@ -54,5 +54,42 @@ fn bench_storage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_storage);
+/// The word-parallel BCH kernels across the code strengths the figures
+/// use: per-block encode, the clean-decode fast path, and a decode at
+/// the full correction radius (syndromes + BM + root location).
+fn bench_bch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bch");
+    group.sample_size(20);
+
+    let mut data = BitBuf::zeroed(DATA_BITS);
+    for i in (0..DATA_BITS).step_by(3) {
+        data.set(i, true);
+    }
+
+    for t in [6usize, 10, 16] {
+        let code = Bch::new(t);
+        group.bench_function(format!("bch{t}_encode"), |b| {
+            b.iter(|| black_box(code.encode(black_box(&data))));
+        });
+        let clean = code.encode(&data);
+        group.bench_function(format!("bch{t}_decode_clean"), |b| {
+            b.iter(|| {
+                let mut cw = clean.clone();
+                black_box(code.decode(&mut cw))
+            });
+        });
+        group.bench_function(format!("bch{t}_decode_{t}errors"), |b| {
+            b.iter(|| {
+                let mut cw = clean.clone();
+                for e in 0..t {
+                    cw.flip((e * 83 + 11) % cw.len());
+                }
+                black_box(code.decode(&mut cw))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage, bench_bch);
 criterion_main!(benches);

@@ -133,6 +133,63 @@ pub fn flip_bit(bytes: &mut [u8], bit_index: u64) {
     }
 }
 
+/// Reads `n` bits MSB-first starting at bit `bit` into the low bits of
+/// the result (bit `bit` lands highest). Bits past the end of the buffer
+/// read as zero, bit-for-bit like repeated [`BitReader::get_bit`] calls.
+///
+/// `n` is capped at 56 so the span plus any bit offset fits one 8-byte
+/// window.
+///
+/// # Panics
+///
+/// Panics if `n > 56`.
+#[inline]
+pub fn read_span(bytes: &[u8], bit: u64, n: usize) -> u64 {
+    assert!(n <= 56, "span reads are limited to 56 bits");
+    if n == 0 {
+        return 0;
+    }
+    let start = (bit / 8) as usize;
+    let mut buf = [0u8; 8];
+    let tail = bytes.get(start..).unwrap_or(&[]);
+    let avail = tail.len().min(8);
+    buf[..avail].copy_from_slice(&tail[..avail]);
+    let w = u64::from_be_bytes(buf);
+    (w << (bit % 8)) >> (64 - n)
+}
+
+/// Writes the low `n` bits of `v` MSB-first starting at bit `bit` (the
+/// highest of the `n` bits lands at `bit`). Bytes past the end of the
+/// buffer are skipped, matching the out-of-range no-op of single-bit
+/// writes.
+///
+/// # Panics
+///
+/// Panics if `n > 56`.
+#[inline]
+pub fn write_span(bytes: &mut [u8], bit: u64, n: usize, v: u64) {
+    assert!(n <= 56, "span writes are limited to 56 bits");
+    if n == 0 {
+        return;
+    }
+    let s = (bit % 8) as u32;
+    // Position the span inside a big-endian 8-byte window: bit `bit` at
+    // offset `s` from the top. s + n <= 63, so nothing wraps.
+    let w = (v << (64 - n)) >> s;
+    let mask = (!0u64 << (64 - n)) >> s;
+    let start = (bit / 8) as usize;
+    let wb = w.to_be_bytes();
+    let mb = mask.to_be_bytes();
+    for k in 0..8 {
+        if mb[k] == 0 {
+            continue;
+        }
+        if let Some(byte) = bytes.get_mut(start + k) {
+            *byte = (*byte & !mb[k]) | wb[k];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +229,46 @@ mod tests {
         assert_eq!(w.bit_len(), 8);
         w.put_bit(true);
         assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn span_io_matches_single_bit_io() {
+        // A fixed irregular pattern read/written at every offset and
+        // width must agree with the bit-at-a-time reference.
+        let bytes: Vec<u8> = (0u8..12).map(|i| i.wrapping_mul(0x3B) ^ 0xA5).collect();
+        let bit_at = |b: &[u8], i: u64| {
+            let byte = (i / 8) as usize;
+            byte < b.len() && (b[byte] >> (7 - (i % 8))) & 1 == 1
+        };
+        for bit in 0..(bytes.len() as u64 * 8 + 16) {
+            for n in [1usize, 7, 8, 9, 31, 48, 56] {
+                let got = read_span(&bytes, bit, n);
+                let mut want = 0u64;
+                for k in 0..n {
+                    want = (want << 1) | bit_at(&bytes, bit + k as u64) as u64;
+                }
+                assert_eq!(got, want, "read bit={bit} n={n}");
+
+                let mut fast = bytes.clone();
+                let mut slow = bytes.clone();
+                write_span(&mut fast, bit, n, got ^ 0x5A5A_5A5A_5A5A_5A5A);
+                let v = got ^ 0x5A5A_5A5A_5A5A_5A5A;
+                for k in 0..n {
+                    let b = (v >> (n - 1 - k)) & 1 == 1;
+                    let i = bit + k as u64;
+                    let byte = (i / 8) as usize;
+                    if byte < slow.len() {
+                        let mask = 1u8 << (7 - (i % 8));
+                        if b {
+                            slow[byte] |= mask;
+                        } else {
+                            slow[byte] &= !mask;
+                        }
+                    }
+                }
+                assert_eq!(fast, slow, "write bit={bit} n={n}");
+            }
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ impl StoragePolicy {
             ladder_levels,
             thresholds,
             raw_ber,
-            exact_bch: false,
+            exact_bch: true,
         }
     }
 
@@ -54,7 +54,7 @@ impl StoragePolicy {
             ladder_levels: vec![scheme],
             thresholds: Vec::new(),
             raw_ber,
-            exact_bch: false,
+            exact_bch: true,
         }
     }
 
@@ -264,8 +264,8 @@ fn corrupt_stream_bits(
             // Analytic block model: each 512-bit block fails independently
             // with the binomial-tail probability; a failed block keeps
             // t + 1 raw errors (the dominant tail term).
-            let code = Bch::new(t as usize);
-            let q = vapp_storage::uber::block_failure_rate(&code, raw_ber);
+            let code = Bch::cached(t as usize);
+            let q = vapp_storage::uber::block_failure_rate(code, raw_ber);
             let blocks = bits.div_ceil(DATA_BITS as u64);
             let mut rng = StdRng::seed_from_u64(seed);
             for b in 0..blocks {
@@ -282,7 +282,7 @@ fn corrupt_stream_bits(
             }
             // Corrected-block tally for this mode is the binomial
             // expectation, computed deterministically — no extra draws.
-            let p_corr = vapp_storage::uber::block_correction_rate(&code, raw_ber);
+            let p_corr = vapp_storage::uber::block_correction_rate(code, raw_ber);
             stats.corrected =
                 ((blocks as f64 * p_corr).round() as u64).min(blocks - stats.uncorrectable);
             stats.clean = blocks - stats.uncorrectable - stats.corrected;
@@ -297,7 +297,7 @@ fn corrupt_stream_bits(
             // Exact model: run the real code per block, one sub-seed per
             // block so the blocks corrupt in parallel. The BCH decoder
             // tallies the global `storage.bch.*` outcome counters itself.
-            let code = Bch::new(t as usize);
+            let code = Bch::cached(t as usize);
             let blocks = bits.div_ceil(DATA_BITS as u64);
             vapp_obs::counter!("storage.bch.blocks", blocks);
             let block_seeds = derive_subseeds(seed, blocks as usize);
@@ -306,26 +306,55 @@ fn corrupt_stream_bits(
                 let start = b as u64 * DATA_BITS as u64;
                 let nbits = ((b as u64 + 1) * DATA_BITS as u64).min(bits) - start;
                 let mut st = CorruptStats::default();
-                let mut block = BitBuf::zeroed(DATA_BITS);
-                for j in 0..nbits {
-                    block.set(j as usize, msb_get(chunk, j));
-                }
-                let mut cw = code.encode(&block);
+                // Flip positions depend only on the block's sub-seed, never
+                // its contents, so they draw first: a block with no flips
+                // (the common case at realistic BERs) round-trips clean
+                // without touching the code at all.
                 let mut rng = StdRng::seed_from_u64(block_seeds[b]);
-                let flips = pick_positions(&[0..cw.len() as u64], raw_ber, &mut rng);
+                let flips = pick_positions(&[0..code.codeword_bits() as u64], raw_ber, &mut rng);
+                if flips.is_empty() {
+                    st.clean = 1;
+                    vapp_obs::counter!("storage.bch.clean");
+                    return st;
+                }
                 st.flips = flips.len() as u64;
-                for f in &flips {
-                    cw.flip(*f as usize);
+                // The stream is MSB-first per byte, BitBuf words are
+                // LSB-first: a byte reversal per stream byte assembles the
+                // block, with bits at or past `nbits` masked to zero.
+                let mut words = vec![0u64; DATA_BITS / 64];
+                for (k, &byte) in chunk.iter().enumerate() {
+                    words[k / 8] |= (byte.reverse_bits() as u64) << (8 * (k % 8));
+                }
+                if nbits < DATA_BITS as u64 {
+                    let (w, s) = ((nbits / 64) as usize, (nbits % 64) as u32);
+                    words[w] &= if s == 0 { 0 } else { (1u64 << s) - 1 };
+                    for word in words.iter_mut().skip(w + 1) {
+                        *word = 0;
+                    }
+                }
+                let block = BitBuf::from_words(words, DATA_BITS);
+                let mut cw = code.encode(&block);
+                for &f in &flips {
+                    cw.flip(f as usize);
                 }
                 match code.decode(&mut cw) {
                     DecodeOutcome::Clean => st.clean = 1,
                     DecodeOutcome::Corrected(_) => st.corrected = 1,
                     DecodeOutcome::Uncorrectable => {
                         st.uncorrectable = 1;
-                        // Deliver the damaged data bits as read.
-                        let dirty = code.extract_data(&cw);
-                        for j in 0..nbits {
-                            msb_set(chunk, j, dirty.get(j as usize));
+                        // Deliver the damaged data bits as read: whole
+                        // bytes reversed back, plus the high bits of a
+                        // trailing partial byte.
+                        let dw = cw.words();
+                        let full = (nbits / 8) as usize;
+                        for (k, byte) in chunk.iter_mut().enumerate().take(full) {
+                            *byte = ((dw[k / 8] >> (8 * (k % 8))) as u8).reverse_bits();
+                        }
+                        let rem = (nbits % 8) as u32;
+                        if rem != 0 {
+                            let v = ((dw[full / 8] >> (8 * (full % 8))) as u8).reverse_bits();
+                            let mask = !0u8 << (8 - rem);
+                            chunk[full] = (chunk[full] & !mask) | (v & mask);
                         }
                     }
                 }
@@ -340,26 +369,6 @@ fn corrupt_stream_bits(
         }
     }
     stats
-}
-
-#[inline]
-fn msb_get(bytes: &[u8], i: u64) -> bool {
-    let byte = (i / 8) as usize;
-    byte < bytes.len() && (bytes[byte] >> (7 - (i % 8))) & 1 == 1
-}
-
-#[inline]
-fn msb_set(bytes: &mut [u8], i: u64, v: bool) {
-    let byte = (i / 8) as usize;
-    if byte >= bytes.len() {
-        return;
-    }
-    let mask = 1u8 << (7 - (i % 8));
-    if v {
-        bytes[byte] |= mask;
-    } else {
-        bytes[byte] &= !mask;
-    }
 }
 
 /// Density/overhead accounting for one stored video (Fig. 11 inputs).

@@ -9,28 +9,26 @@
 //! derive from a master IV and the stream id (§5.3).
 
 use crate::pivots::PivotTable;
+use vapp_codec::bitstream::{read_span, write_span};
 use vapp_codec::EncodedVideo;
 use vapp_crypto::{derive_stream_iv, Block, CipherMode, Key};
 
-/// Reads payload bit `i` (MSB-first, matching the codec's bit writer).
-#[inline]
-fn get_bit(bytes: &[u8], i: u64) -> bool {
-    let byte = (i / 8) as usize;
-    byte < bytes.len() && (bytes[byte] >> (7 - (i % 8))) & 1 == 1
-}
+/// Bits moved per [`read_span`]/[`write_span`] step when relocating a
+/// bit range between buffers.
+const SPAN_BITS: usize = 48;
 
-/// Sets payload bit `i` (MSB-first).
+/// Copies `count` bits from `src` starting at `src_bit` to `dst` starting
+/// at `dst_bit` (MSB-first on both sides), up to [`SPAN_BITS`] at a time.
+/// Inherits the span helpers' totality: source bits past the end read as
+/// zero, destination bytes past the end are skipped.
 #[inline]
-fn set_bit(bytes: &mut [u8], i: u64, v: bool) {
-    let byte = (i / 8) as usize;
-    if byte >= bytes.len() {
-        return;
-    }
-    let mask = 1u8 << (7 - (i % 8));
-    if v {
-        bytes[byte] |= mask;
-    } else {
-        bytes[byte] &= !mask;
+fn copy_bits(dst: &mut [u8], dst_bit: u64, src: &[u8], src_bit: u64, count: u64) {
+    let mut done = 0u64;
+    while done < count {
+        let n = ((count - done).min(SPAN_BITS as u64)) as usize;
+        let v = read_span(src, src_bit + done, n);
+        write_span(dst, dst_bit + done, n, v);
+        done += n as u64;
     }
 }
 
@@ -100,22 +98,28 @@ pub fn split_streams(stream: &EncodedVideo, table: &PivotTable) -> ProtectedStre
     // copying its own level's bits and skipping foreign spans in O(1), so
     // the per-worker cost is its stream's bits plus the span count.
     let per_level = vapp_par::par_map((0..levels).collect(), |_, li| {
-        let mut bits: Vec<bool> = Vec::new();
+        // Size first, then move whole spans with 48-bit word copies.
+        let mut nbits = 0u64;
+        for fp in &table.frames {
+            for (range, level) in fp.level_spans() {
+                if (level as usize).min(levels - 1) == li {
+                    nbits += range.end - range.start;
+                }
+            }
+        }
+        let mut bytes = vec![0u8; (nbits as usize).div_ceil(8)];
+        let mut out = 0u64;
         for (frame, fp) in stream.frames.iter().zip(&table.frames) {
             for (range, level) in fp.level_spans() {
                 if (level as usize).min(levels - 1) != li {
                     continue;
                 }
-                for i in range {
-                    bits.push(get_bit(&frame.payload, i));
-                }
+                let count = range.end - range.start;
+                copy_bits(&mut bytes, out, &frame.payload, range.start, count);
+                out += count;
             }
         }
-        let mut bytes = vec![0u8; bits.len().div_ceil(8)];
-        for (i, &b) in bits.iter().enumerate() {
-            set_bit(&mut bytes, i as u64, b);
-        }
-        (bytes, bits.len() as u64)
+        (bytes, nbits)
     });
     let mut level_data = Vec::with_capacity(levels);
     let mut level_bits = Vec::with_capacity(levels);
@@ -177,11 +181,15 @@ pub fn merge_streams(
         |_, ((frame, fp), mut cur)| {
             for (range, level) in fp.level_spans() {
                 let li = (level as usize).min(levels - 1);
-                for i in range {
-                    let bit = get_bit(&streams.level_data[li], cur[li]);
-                    set_bit(&mut frame.payload, i, bit);
-                    cur[li] += 1;
-                }
+                let count = range.end - range.start;
+                copy_bits(
+                    &mut frame.payload,
+                    range.start,
+                    &streams.level_data[li],
+                    cur[li],
+                    count,
+                );
+                cur[li] += count;
             }
         },
     );
@@ -195,6 +203,12 @@ mod tests {
     use crate::importance::ImportanceMap;
     use vapp_codec::{Encoder, EncoderConfig};
     use vapp_workloads::{ClipSpec, SceneKind};
+
+    /// Reads payload bit `i` (MSB-first), false past the end.
+    fn get_bit(bytes: &[u8], i: u64) -> bool {
+        let byte = (i / 8) as usize;
+        byte < bytes.len() && (bytes[byte] >> (7 - (i % 8))) & 1 == 1
+    }
 
     fn setup() -> (EncodedVideo, PivotTable) {
         let video = ClipSpec::new(64, 48, 8, SceneKind::MovingBlocks)

@@ -11,13 +11,6 @@ use crate::bits::BitBuf;
 use crate::mlc::{gray, MlcSubstrate};
 use vapp_rand::rngs::StdRng;
 
-/// Inverse Gray code (3-bit domain is tiny; search is fine and obvious).
-fn gray_inverse(levels: u8, g: u8) -> u8 {
-    (0..levels)
-        .find(|&i| gray(i) == g)
-        .expect("gray code is a bijection")
-}
-
 /// A written cell array holding one bit stream.
 #[derive(Clone, Debug)]
 pub struct CellArray {
@@ -35,14 +28,10 @@ impl CellArray {
         let cells = data.len().div_ceil(bpc as usize);
         let mut levels = Vec::with_capacity(cells);
         for c in 0..cells {
-            let mut g = 0u8;
-            for b in 0..bpc as usize {
-                let i = c * bpc as usize + b;
-                if i < data.len() && data.get(i) {
-                    g |= 1 << b;
-                }
-            }
-            levels.push(gray_inverse(substrate.config().levels, g));
+            let i = c * bpc as usize;
+            let n = (bpc as usize).min(data.len() - i);
+            let g = data.get_bits(i, n) as u8;
+            levels.push(substrate.gray_inverse(g));
         }
         CellArray {
             levels,
@@ -68,12 +57,10 @@ impl CellArray {
         for (c, &level) in self.levels.iter().enumerate() {
             let read_level = substrate.write_read(level, t_days, rng);
             let g = gray(read_level);
-            for b in 0..self.bits_per_cell as usize {
-                let i = c * self.bits_per_cell as usize + b;
-                if i < self.bits {
-                    out.set(i, (g >> b) & 1 == 1);
-                }
-            }
+            let i = c * self.bits_per_cell as usize;
+            let n = (self.bits_per_cell as usize).min(self.bits - i);
+            // A tail cell keeps only its in-range bits (set_bits masks).
+            out.set_bits(i, n, g as u64);
         }
         out
     }
@@ -185,9 +172,13 @@ mod tests {
     }
 
     #[test]
-    fn gray_inverse_is_total_for_eight_levels() {
-        for i in 0..8u8 {
-            assert_eq!(gray_inverse(8, gray(i)), i);
+    fn gray_inverse_lut_matches_search() {
+        let substrate = MlcSubstrate::new(MlcConfig::default());
+        let levels = substrate.config().levels;
+        for g in 0..levels {
+            // The retired linear-search definition, as the oracle.
+            let searched = (0..levels).find(|&i| gray(i) == g).unwrap();
+            assert_eq!(substrate.gray_inverse(g), searched);
         }
     }
 }

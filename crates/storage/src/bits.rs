@@ -1,8 +1,12 @@
-//! Bit-addressed helpers over byte buffers (LSB-first within a byte).
+//! Bit-addressed helpers over byte buffers plus the word-backed
+//! [`BitBuf`] (LSB-first within a byte / word).
 //!
 //! The storage stack moves data around as packed bit vectors: BCH
 //! codewords are not byte multiples (512 data + 10·X parity bits), and MLC
-//! cells hold three bits each.
+//! cells hold three bits each. `BitBuf` is backed by `Vec<u64>` so the hot
+//! paths (BCH encode/decode, hamming distances, cell packing) run on
+//! machine words: 64 bits per shift/xor/popcount instead of one bit per
+//! loop iteration.
 
 /// Reads bit `i` (LSB-first within each byte).
 #[inline]
@@ -32,7 +36,19 @@ pub fn bytes_for(bits: usize) -> usize {
     bits.div_ceil(8)
 }
 
-/// A growable, bit-addressed buffer.
+/// Number of 64-bit words needed for `bits` bits.
+#[inline]
+pub fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// A growable, bit-addressed buffer backed by 64-bit words.
+///
+/// Bit `i` lives in word `i / 64` at position `i % 64` (LSB-first), which
+/// byte-for-byte matches the old `Vec<u8>` LSB-first layout on any
+/// little-endian serialization. Invariant: bits at or past `len` in the
+/// last word are zero, so equality, hashing, popcounts and hamming
+/// distances need no tail masking.
 ///
 /// # Example
 ///
@@ -49,7 +65,7 @@ pub fn bytes_for(bits: usize) -> usize {
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct BitBuf {
-    bytes: Vec<u8>,
+    words: Vec<u64>,
     len: usize,
 }
 
@@ -62,22 +78,61 @@ impl BitBuf {
     /// Creates a zeroed buffer of `bits` bits.
     pub fn zeroed(bits: usize) -> Self {
         BitBuf {
-            bytes: vec![0u8; bytes_for(bits)],
+            words: vec![0u64; words_for(bits)],
             len: bits,
         }
     }
 
-    /// Builds a buffer from the low `bits` bits of `bytes`.
+    /// Builds a buffer from the low `bits` bits of `bytes` (LSB-first
+    /// within each byte). Bits past `bits` are dropped.
     ///
     /// # Panics
     ///
     /// Panics if `bytes` is too short for `bits`.
     pub fn from_bytes(bytes: &[u8], bits: usize) -> Self {
         assert!(bytes.len() * 8 >= bits, "byte buffer too short");
-        BitBuf {
-            bytes: bytes[..bytes_for(bits)].to_vec(),
-            len: bits,
+        let used = &bytes[..bytes_for(bits)];
+        let mut words = vec![0u64; words_for(bits)];
+        for (w, chunk) in words.iter_mut().zip(used.chunks(8)) {
+            let mut le = [0u8; 8];
+            le[..chunk.len()].copy_from_slice(chunk);
+            *w = u64::from_le_bytes(le);
         }
+        let mut out = BitBuf { words, len: bits };
+        out.mask_tail();
+        out
+    }
+
+    /// Builds a buffer directly from words (bit `i` of the buffer = bit
+    /// `i % 64` of `words[i / 64]`). Bits past `bits` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is too short for `bits`.
+    pub fn from_words(words: Vec<u64>, bits: usize) -> Self {
+        assert!(words.len() >= words_for(bits), "word buffer too short");
+        let mut words = words;
+        words.truncate(words_for(bits));
+        let mut out = BitBuf { words, len: bits };
+        out.mask_tail();
+        out
+    }
+
+    /// Zeroes any bits at or past `len` in the last word.
+    #[inline]
+    fn mask_tail(&mut self) {
+        let r = self.len % 64;
+        if r != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << r) - 1;
+            }
+        }
+    }
+
+    /// The backing words (bits past `len` in the last word are zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Number of bits stored.
@@ -98,7 +153,7 @@ impl BitBuf {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index out of range");
-        get_bit(&self.bytes, i)
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
     /// Writes bit `i`.
@@ -109,10 +164,14 @@ impl BitBuf {
     #[inline]
     pub fn set(&mut self, i: usize, v: bool) {
         assert!(i < self.len, "bit index out of range");
-        set_bit(&mut self.bytes, i, v);
+        if v {
+            self.words[i / 64] |= 1u64 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
     }
 
-    /// Flips bit `i`.
+    /// Flips bit `i` (a single word-level xor).
     ///
     /// # Panics
     ///
@@ -120,53 +179,182 @@ impl BitBuf {
     #[inline]
     pub fn flip(&mut self, i: usize) {
         assert!(i < self.len, "bit index out of range");
-        flip_bit(&mut self.bytes, i);
+        self.words[i / 64] ^= 1u64 << (i % 64);
     }
 
     /// Appends one bit.
     pub fn push(&mut self, v: bool) {
-        if self.len.is_multiple_of(8) {
-            self.bytes.push(0);
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if v {
+            self.words[self.len / 64] |= 1u64 << (self.len % 64);
         }
         self.len += 1;
-        let i = self.len - 1;
-        set_bit(&mut self.bytes, i, v);
     }
 
-    /// Appends `count` bits from `other` starting at `from`.
+    /// Reads `n` bits starting at `i` as an integer (bit `i` in the low
+    /// position), `1 <= n <= 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `n` is not in `1..=64`.
+    #[inline]
+    pub fn get_bits(&self, i: usize, n: usize) -> u64 {
+        assert!((1..=64).contains(&n), "n must be 1..=64");
+        assert!(i + n <= self.len, "bit range out of bounds");
+        let w = i / 64;
+        let s = i % 64;
+        let mut v = self.words[w] >> s;
+        if s != 0 && s + n > 64 {
+            v |= self.words[w + 1] << (64 - s);
+        }
+        if n < 64 {
+            v &= (1u64 << n) - 1;
+        }
+        v
+    }
+
+    /// Writes the low `n` bits of `v` starting at bit `i`, `1 <= n <= 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `n` is not in `1..=64`.
+    #[inline]
+    pub fn set_bits(&mut self, i: usize, n: usize, v: u64) {
+        assert!((1..=64).contains(&n), "n must be 1..=64");
+        assert!(i + n <= self.len, "bit range out of bounds");
+        let mask = if n < 64 { (1u64 << n) - 1 } else { !0u64 };
+        let v = v & mask;
+        let w = i / 64;
+        let s = i % 64;
+        self.words[w] = (self.words[w] & !(mask << s)) | (v << s);
+        if s != 0 && s + n > 64 {
+            let spill = s + n - 64; // bits landing in the next word
+            let hi_mask = (1u64 << spill) - 1;
+            self.words[w + 1] = (self.words[w + 1] & !hi_mask) | (v >> (64 - s));
+        }
+    }
+
+    /// Appends the low `n` bits of `v`, `1 <= n <= 64`.
+    fn push_bits(&mut self, v: u64, n: usize) {
+        debug_assert!((1..=64).contains(&n));
+        let v = if n < 64 { v & ((1u64 << n) - 1) } else { v };
+        let o = self.len % 64;
+        if o == 0 {
+            self.words.push(v);
+        } else {
+            let last = self.words.len() - 1;
+            self.words[last] |= v << o;
+            if o + n > 64 {
+                self.words.push(v >> (64 - o));
+            }
+        }
+        self.len += n;
+    }
+
+    /// Appends `count` bits from `other` starting at `from`, copying up
+    /// to 64 bits per step (word-shift, not bit-by-bit).
     ///
     /// # Panics
     ///
     /// Panics if the source range is out of bounds.
     pub fn extend_from(&mut self, other: &BitBuf, from: usize, count: usize) {
         assert!(from + count <= other.len, "source range out of bounds");
-        for i in 0..count {
-            self.push(other.get(from + i));
+        self.words.reserve(words_for(count) + 1);
+        let mut done = 0;
+        while done < count {
+            let n = (count - done).min(64);
+            self.push_bits(other.get_bits(from + done, n), n);
+            done += n;
         }
     }
 
-    /// The packed bytes (trailing bits of the last byte are zero).
-    pub fn as_bytes(&self) -> &[u8] {
-        &self.bytes
+    /// The packed little-endian bytes (trailing bits of the last byte are
+    /// zero).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bytes_for(self.len));
+        for &w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.truncate(bytes_for(self.len));
+        out
     }
 
-    /// Number of bits that differ from `other`.
+    /// XORs `other` into `self`, word by word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_with(&mut self, other: &BitBuf) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Number of set bits (word-level popcount).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the indices of set bits via `trailing_zeros`, so the
+    /// cost scales with the popcount, not the length.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word_idx: 0,
+            cur: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Number of bits that differ from `other` (vectorized xor+popcount;
+    /// the tail invariant makes padding self-cancelling).
     ///
     /// # Panics
     ///
     /// Panics if lengths differ.
     pub fn hamming_distance(&self, other: &BitBuf) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        let mut d = 0;
-        for (i, (a, b)) in self.bytes.iter().zip(&other.bytes).enumerate() {
-            let mut x = a ^ b;
-            // Mask out padding bits in the final byte.
-            if i == self.bytes.len() - 1 && !self.len.is_multiple_of(8) {
-                x &= (1u8 << (self.len % 8)) - 1;
-            }
-            d += x.count_ones() as usize;
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Bit-at-a-time `extend_from` — the pre-word-level reference
+    /// implementation, kept for equivalence property tests.
+    #[cfg(test)]
+    pub(crate) fn extend_from_bitwise(&mut self, other: &BitBuf, from: usize, count: usize) {
+        assert!(from + count <= other.len, "source range out of bounds");
+        for i in 0..count {
+            self.push(other.get(from + i));
         }
-        d
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitBuf`].
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    cur: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.cur == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.word_idx];
+        }
+        let tz = self.cur.trailing_zeros() as usize;
+        self.cur &= self.cur - 1;
+        Some(self.word_idx * 64 + tz)
     }
 }
 
@@ -203,6 +391,44 @@ mod tests {
     }
 
     #[test]
+    fn from_bytes_masks_bits_past_len() {
+        // Bits 10..16 of the source are set but past `len`: they must not
+        // leak into equality or popcounts.
+        let dirty = BitBuf::from_bytes(&[0x00, 0xFF], 10);
+        let mut clean = BitBuf::zeroed(10);
+        clean.set(8, true);
+        clean.set(9, true);
+        assert_eq!(dirty, clean);
+        assert_eq!(dirty.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_words_and_words_round_trip() {
+        let b = BitBuf::from_words(vec![0xDEAD_BEEF_0123_4567, 0xFFFF], 70);
+        assert_eq!(b.words().len(), 2);
+        assert_eq!(b.words()[0], 0xDEAD_BEEF_0123_4567);
+        assert_eq!(b.words()[1], 0x3F, "tail masked to 6 bits");
+        assert_eq!(BitBuf::from_words(b.words().to_vec(), 70), b);
+    }
+
+    #[test]
+    fn get_set_bits_cross_word_boundaries() {
+        let mut b = BitBuf::zeroed(200);
+        b.set_bits(60, 10, 0b10_1101_0111);
+        assert_eq!(b.get_bits(60, 10), 0b10_1101_0111);
+        for (i, expect) in [(60, true), (61, true), (62, true), (63, false)] {
+            assert_eq!(b.get(i), expect, "bit {i}");
+        }
+        b.set_bits(64, 64, u64::MAX);
+        assert_eq!(b.get_bits(64, 64), u64::MAX);
+        assert_eq!(b.get_bits(100, 1), 1);
+        b.set_bits(60, 10, 0);
+        // Bits 60..70 are now clear and 70..128 still set, so the 64-bit
+        // window at 32 sees ones only at result positions 38..=63.
+        assert_eq!(b.get_bits(32, 64), u64::MAX << 38);
+    }
+
+    #[test]
     fn extend_from_copies_ranges() {
         let mut a = BitBuf::new();
         for i in 0..16 {
@@ -214,6 +440,54 @@ mod tests {
         for i in 0..8 {
             assert_eq!(b.get(i), (i + 4) % 2 == 0);
         }
+    }
+
+    #[test]
+    fn extend_from_matches_bitwise_reference() {
+        // Word-shift copies against the bit-at-a-time reference over
+        // random offsets, lengths and starting alignments.
+        vapp_check::check("extend_from_matches_bitwise_reference", 128, |rng| {
+            use vapp_check::RngExt;
+            let src_bits = rng.random_range(1..400usize);
+            let mut src = BitBuf::zeroed(src_bits);
+            for i in 0..src_bits {
+                if rng.random::<bool>() {
+                    src.set(i, true);
+                }
+            }
+            let from = rng.random_range(0..src_bits);
+            let count = rng.random_range(0..=(src_bits - from));
+            let pre = rng.random_range(0..100usize);
+            let mut fast = BitBuf::zeroed(pre);
+            let mut slow = fast.clone();
+            fast.extend_from(&src, from, count);
+            slow.extend_from_bitwise(&src, from, count);
+            assert_eq!(fast, slow, "pre={pre} from={from} count={count}");
+        });
+    }
+
+    #[test]
+    fn to_bytes_matches_bit_layout() {
+        let mut b = BitBuf::zeroed(19);
+        b.set(0, true);
+        b.set(9, true);
+        b.set(18, true);
+        assert_eq!(b.to_bytes(), vec![0b0000_0001, 0b0000_0010, 0b0000_0100]);
+    }
+
+    #[test]
+    fn xor_count_and_iter_ones() {
+        let mut a = BitBuf::zeroed(130);
+        let mut b = BitBuf::zeroed(130);
+        a.set(0, true);
+        a.set(64, true);
+        a.set(129, true);
+        b.set(64, true);
+        assert_eq!(a.count_ones(), 3);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        a.xor_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+        assert_eq!(BitBuf::zeroed(70).iter_ones().next(), None);
     }
 
     #[test]

@@ -11,11 +11,19 @@ pub const GF_ORDER: usize = 1023;
 /// Primitive polynomial x^10 + x^3 + 1.
 const PRIM_POLY: u32 = 0x409;
 
+/// Sentinel in the quadratic-solver table: `y² + y = c` has no solution.
+const NO_ROOT: u16 = u16::MAX;
+
 /// Precomputed exponential/logarithm tables for GF(2^10).
 #[derive(Debug)]
 pub struct Gf1024 {
     exp: [u16; 2 * GF_ORDER],
     log: [u16; GF_ORDER + 1],
+    /// `qsolve[c]` is a root `y` of `y² + y = c` (the other root is
+    /// `y ^ 1`), or [`NO_ROOT`] when the trace of `c` is nonzero. The map
+    /// `y ↦ y² + y` is 2-to-1 onto exactly half the field, so the table
+    /// answers degree-2 error location in O(1) instead of a Chien sweep.
+    qsolve: [u16; GF_ORDER + 1],
 }
 
 impl Gf1024 {
@@ -34,7 +42,20 @@ impl Gf1024 {
         for i in GF_ORDER..2 * GF_ORDER {
             exp[i] = exp[i - GF_ORDER];
         }
-        Box::new(Gf1024 { exp, log })
+        let mut qsolve = [NO_ROOT; GF_ORDER + 1];
+        for y in 0..=GF_ORDER as u16 {
+            // y² in GF(2^10): square via log doubling (0² = 0).
+            let y2 = if y == 0 {
+                0
+            } else {
+                exp[(2 * log[y as usize] as usize) % GF_ORDER]
+            };
+            let c = (y2 ^ y) as usize;
+            if qsolve[c] == NO_ROOT {
+                qsolve[c] = y;
+            }
+        }
+        Box::new(Gf1024 { exp, log, qsolve })
     }
 
     /// The shared table instance.
@@ -88,6 +109,30 @@ impl Gf1024 {
         }
         self.exp[(self.log[a as usize] as usize * k) % GF_ORDER]
     }
+
+    /// `a · α^log_b` with the multiplier already in log form
+    /// (`log_b < GF_ORDER`). The workhorse of the table-driven decoder:
+    /// fixed-multiplier chains (Horner steps, Chien updates) skip one log
+    /// lookup per product.
+    #[inline]
+    pub fn mul_alpha_log(&self, a: u16, log_b: usize) -> u16 {
+        debug_assert!(log_b < GF_ORDER);
+        if a == 0 {
+            return 0;
+        }
+        self.exp[self.log[a as usize] as usize + log_b]
+    }
+
+    /// A root `y` of `y² + y = c`, if one exists; the other root is
+    /// `y ^ 1`. Exactly half of the field's elements have solutions
+    /// (those with zero trace).
+    #[inline]
+    pub fn solve_quadratic(&self, c: u16) -> Option<u16> {
+        match self.qsolve[c as usize] {
+            NO_ROOT => None,
+            y => Some(y),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +183,36 @@ mod tests {
         let a = gf.alpha_pow(1);
         assert_eq!(gf.pow(a, GF_ORDER), 1);
         assert_eq!(gf.pow(a, 3), gf.alpha_pow(3));
+    }
+
+    #[test]
+    fn mul_alpha_log_matches_mul() {
+        let gf = Gf1024::get();
+        for a in [0u16, 1, 5, 511, 1023] {
+            for log_b in [0usize, 1, 8, 500, 1022] {
+                assert_eq!(
+                    gf.mul_alpha_log(a, log_b),
+                    gf.mul(a, gf.alpha_pow(log_b)),
+                    "a={a} log_b={log_b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_quadratic_roots_check_out() {
+        let gf = Gf1024::get();
+        let mut solvable = 0usize;
+        for c in 0..=GF_ORDER as u16 {
+            if let Some(y) = gf.solve_quadratic(c) {
+                solvable += 1;
+                for root in [y, y ^ 1] {
+                    assert_eq!(gf.mul(root, root) ^ root, c, "c={c} root={root}");
+                }
+            }
+        }
+        // The trace splits the field in half: 512 of 1024 values solvable.
+        assert_eq!(solvable, 512);
     }
 
     #[test]

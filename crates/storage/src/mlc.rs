@@ -78,6 +78,9 @@ pub struct MlcSubstrate {
     centers: Vec<f64>,
     /// Read decision thresholds between adjacent levels (len = levels − 1).
     thresholds: Vec<f64>,
+    /// Inverse Gray-code LUT: `gray_inv[gray(i)] = i` for each level,
+    /// built once so the per-cell write path is a single index.
+    gray_inv: [u8; 16],
 }
 
 impl MlcSubstrate {
@@ -124,10 +127,15 @@ impl MlcSubstrate {
                 .map(|i| (centers[i] + centers[i + 1]) / 2.0)
                 .collect()
         };
+        let mut gray_inv = [0u8; 16];
+        for i in 0..cfg.levels {
+            gray_inv[gray(i) as usize] = i;
+        }
         MlcSubstrate {
             cfg,
             centers,
             thresholds,
+            gray_inv,
         }
     }
 
@@ -172,6 +180,18 @@ impl MlcSubstrate {
     /// Bits stored per cell (log2 of the level count).
     pub fn bits_per_cell(&self) -> u32 {
         self.cfg.levels.trailing_zeros()
+    }
+
+    /// Level index whose Gray code is `g` (precomputed inverse of
+    /// [`gray`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not the Gray code of a valid level.
+    #[inline]
+    pub fn gray_inverse(&self, g: u8) -> u8 {
+        assert!(g < self.cfg.levels, "not a valid Gray code for this cell");
+        self.gray_inv[g as usize]
     }
 
     /// Level write targets.

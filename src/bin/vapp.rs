@@ -355,7 +355,7 @@ fn cmd_store(mut args: VecDeque<String>) -> Result<(), String> {
         ],
         thresholds,
         raw_ber,
-        exact_bch: false,
+        exact_bch: true,
     });
     let report = store.report(&processed.stream, &table, video.total_pixels() as u64);
     let mut rng = StdRng::seed_from_u64(seed);
