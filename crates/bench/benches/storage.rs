@@ -91,5 +91,82 @@ fn bench_bch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_storage, bench_bch);
+/// The bitsliced batch engine against its per-block reference: 64-block
+/// encode, all-clean batch detection, mixed clean/dirty decode, and the
+/// pipeline's sparse error-pattern shape.
+fn bench_bch_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bch_batch");
+    group.sample_size(20);
+
+    let blocks: Vec<BitBuf> = (0..vapp_storage::batch::LANES)
+        .map(|i| {
+            let mut d = BitBuf::zeroed(DATA_BITS);
+            for k in (i % 7..DATA_BITS).step_by(3 + i % 5) {
+                d.set(k, true);
+            }
+            d
+        })
+        .collect();
+
+    for t in [6usize, 10] {
+        let code = Bch::cached(t);
+        group.bench_function(format!("bch{t}_encode64_batch"), |b| {
+            b.iter(|| black_box(code.encode_batch(black_box(&blocks))));
+        });
+        group.bench_function(format!("bch{t}_encode64_perblock"), |b| {
+            b.iter(|| {
+                let cws: Vec<BitBuf> = blocks.iter().map(|d| code.encode(d)).collect();
+                black_box(cws)
+            });
+        });
+        let clean: Vec<BitBuf> = blocks.iter().map(|d| code.encode(d)).collect();
+        group.bench_function(format!("bch{t}_decode64_clean_batch"), |b| {
+            b.iter(|| {
+                let mut cws = clean.clone();
+                black_box(code.decode_blocks(&mut cws))
+            });
+        });
+        group.bench_function(format!("bch{t}_decode64_clean_perblock"), |b| {
+            b.iter(|| {
+                let mut cws = clean.clone();
+                let out: Vec<_> = cws.iter_mut().map(|cw| code.decode(cw)).collect();
+                black_box(out)
+            });
+        });
+        // Mixed batch: every fourth lane carries t errors (a much higher
+        // dirty fraction than the pipeline sees at raw BER 1e-3).
+        let mut mixed = clean.clone();
+        for (lane, cw) in mixed.iter_mut().enumerate().step_by(4) {
+            for e in 0..t {
+                cw.flip((lane * 131 + e * 83 + 11) % cw.len());
+            }
+        }
+        group.bench_function(format!("bch{t}_decode64_mixed_batch"), |b| {
+            b.iter(|| {
+                let mut cws = mixed.clone();
+                black_box(code.decode_blocks(&mut cws))
+            });
+        });
+        group.bench_function(format!("bch{t}_decode64_mixed_perblock"), |b| {
+            b.iter(|| {
+                let mut cws = mixed.clone();
+                let out: Vec<_> = cws.iter_mut().map(|cw| code.decode(cw)).collect();
+                black_box(out)
+            });
+        });
+        // The pipeline's shape: sparse error patterns, ~9 dirty lanes.
+        group.bench_function(format!("bch{t}_decode9_sparse_errors"), |b| {
+            b.iter(|| {
+                let mut batch = vapp_storage::batch::BlockBatch::zeroed(code, 9);
+                for lane in 0..9 {
+                    batch.flip(lane, (lane * 61 + 17) % code.codeword_bits());
+                }
+                black_box(code.decode_batch(&mut batch))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage, bench_bch, bench_bch_batch);
 criterion_main!(benches);

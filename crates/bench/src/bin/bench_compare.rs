@@ -2,8 +2,14 @@
 //! fails (exit 1) on per-bench median regressions beyond a threshold.
 //!
 //! ```text
-//! bench_compare BASELINE.json CURRENT.json [--threshold 0.25]
+//! bench_compare BASELINE.json CURRENT.json [--threshold 0.25] \
+//!               [--allow-missing NAME]...
 //! ```
+//!
+//! A baseline bench missing from the current run is a hard failure: a
+//! silently dropped bench is a silently dropped perf gate. Intentional
+//! removals are declared with `--allow-missing NAME` (repeatable), which
+//! documents the removal in the CI invocation itself.
 //!
 //! Raw medians are machine-dependent, so absolute comparison against a
 //! committed baseline would flag every slower CI runner. Instead the
@@ -56,30 +62,18 @@ fn median(values: &mut [f64]) -> f64 {
     values[values.len() / 2]
 }
 
-fn run() -> Result<bool, String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut threshold = 0.25f64;
-    let mut paths = Vec::new();
-    let mut it = args.into_iter();
-    while let Some(a) = it.next() {
-        if a == "--threshold" {
-            threshold = it
-                .next()
-                .ok_or("--threshold needs a value")?
-                .parse()
-                .map_err(|_| "--threshold: invalid value".to_string())?;
-        } else {
-            paths.push(a);
-        }
-    }
-    let [baseline, current] = paths.as_slice() else {
-        return Err("usage: bench_compare BASELINE.json CURRENT.json [--threshold 0.25]".into());
-    };
-
-    let base = load_medians(baseline)?;
-    let cur = load_medians(current)?;
+/// Compares baseline medians against the current run's. Returns whether
+/// any bench regressed past the normalized limit. Baseline benches absent
+/// from the current run are an error unless named in `allow_missing`.
+fn compare(
+    base: &[(String, f64)],
+    cur: &[(String, f64)],
+    threshold: f64,
+    allow_missing: &[String],
+) -> Result<bool, String> {
     let mut rows = Vec::new();
-    for (name, base_ns) in &base {
+    let mut missing = Vec::new();
+    for (name, base_ns) in base {
         if let Some((_, cur_ns)) = cur.iter().find(|(n, _)| n == name) {
             rows.push(Row {
                 name: name.clone(),
@@ -87,14 +81,25 @@ fn run() -> Result<bool, String> {
                 cur_ns: *cur_ns,
                 ratio: cur_ns / base_ns,
             });
+        } else if allow_missing.iter().any(|a| a == name) {
+            println!("bench-compare: `{name}` missing from current run (allowed by flag)");
         } else {
-            println!("bench-compare: `{name}` missing from current run (skipped)");
+            missing.push(name.clone());
         }
+    }
+    if !missing.is_empty() {
+        // A dropped bench would silently bypass its perf gate; make the
+        // removal explicit with --allow-missing.
+        return Err(format!(
+            "baseline benches missing from current run: {} \
+             (pass --allow-missing NAME per intentionally removed bench)",
+            missing.join(", ")
+        ));
     }
     // New benches have no baseline yet: warn and leave them ungated until
     // the baseline is regenerated, rather than failing or silently
     // pretending they were compared.
-    for (name, _) in &cur {
+    for (name, _) in cur {
         if !base.iter().any(|(n, _)| n == name) {
             println!("bench-compare: `{name}` not in baseline yet (skipped; regenerate baseline)");
         }
@@ -126,6 +131,38 @@ fn run() -> Result<bool, String> {
         );
     }
     Ok(regressed)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.25f64;
+    let mut allow_missing = Vec::new();
+    let mut paths = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            threshold = it
+                .next()
+                .ok_or("--threshold needs a value")?
+                .parse()
+                .map_err(|_| "--threshold: invalid value".to_string())?;
+        } else if a == "--allow-missing" {
+            allow_missing.push(it.next().ok_or("--allow-missing needs a bench name")?);
+        } else {
+            paths.push(a);
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        return Err(
+            "usage: bench_compare BASELINE.json CURRENT.json [--threshold 0.25] \
+             [--allow-missing NAME]..."
+                .into(),
+        );
+    };
+
+    let base = load_medians(baseline)?;
+    let cur = load_medians(current)?;
+    compare(&base, &cur, threshold, &allow_missing)
 }
 
 fn main() -> ExitCode {
@@ -202,6 +239,64 @@ mod tests {
         let factor = median(&mut sorted);
         assert!((factor - 1.0).abs() < 1e-12);
         assert!(ratios.iter().any(|&r| r > 1.25 * factor));
+    }
+
+    #[test]
+    fn missing_baseline_bench_is_a_hard_failure() {
+        let base = vec![("a".to_string(), 100.0), ("b".to_string(), 200.0)];
+        let cur = vec![("a".to_string(), 100.0)];
+        let err = compare(&base, &cur, 0.25, &[]).expect_err("must fail");
+        assert!(err.contains("b"), "error names the dropped bench: {err}");
+        assert!(
+            err.contains("--allow-missing"),
+            "error points at the flag: {err}"
+        );
+    }
+
+    #[test]
+    fn allow_missing_permits_declared_removals() {
+        let base = vec![
+            ("a".to_string(), 100.0),
+            ("b".to_string(), 200.0),
+            ("c".to_string(), 50.0),
+        ];
+        let cur = vec![("a".to_string(), 110.0), ("c".to_string(), 55.0)];
+        let regressed = compare(&base, &cur, 0.25, &["b".to_string()]).expect("allowed");
+        assert!(!regressed);
+        // The allowlist only covers the named bench: dropping another
+        // still fails.
+        let cur2 = vec![("a".to_string(), 110.0)];
+        assert!(compare(&base, &cur2, 0.25, &["b".to_string()]).is_err());
+    }
+
+    #[test]
+    fn compare_flags_relative_regressions_only() {
+        let base = vec![
+            ("a".to_string(), 100.0),
+            ("b".to_string(), 200.0),
+            ("c".to_string(), 50.0),
+        ];
+        // Uniform 3x slowdown: no regression.
+        let uniform = vec![
+            ("a".to_string(), 300.0),
+            ("b".to_string(), 600.0),
+            ("c".to_string(), 150.0),
+        ];
+        assert!(!compare(&base, &uniform, 0.25, &[]).expect("uniform"));
+        // One bench blows up 10x while the rest hold: regression.
+        let blowup = vec![
+            ("a".to_string(), 100.0),
+            ("b".to_string(), 200.0),
+            ("c".to_string(), 500.0),
+        ];
+        assert!(compare(&base, &blowup, 0.25, &[]).expect("blowup"));
+    }
+
+    #[test]
+    fn new_benches_without_baseline_stay_ungated() {
+        let base = vec![("a".to_string(), 100.0)];
+        let cur = vec![("a".to_string(), 100.0), ("brand_new".to_string(), 1e9)];
+        assert!(!compare(&base, &cur, 0.25, &[]).expect("new bench is not gated"));
     }
 
     #[test]

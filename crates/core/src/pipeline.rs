@@ -18,8 +18,8 @@ use vapp_metrics::{prob_any_flip, video_psnr};
 use vapp_rand::rngs::StdRng;
 use vapp_rand::{RngExt, SeedableRng};
 use vapp_sim::{derive_subseeds, pick_k_positions, pick_positions, pick_positions_forced};
+use vapp_storage::batch::{self, BlockBatch};
 use vapp_storage::bch::{Bch, DecodeOutcome, DATA_BITS};
-use vapp_storage::bits::BitBuf;
 use vapp_storage::density;
 
 /// How and where the payload is stored.
@@ -265,7 +265,10 @@ fn corrupt_stream_bits(
             // with the binomial-tail probability; a failed block keeps
             // t + 1 raw errors (the dominant tail term).
             let code = Bch::cached(t as usize);
-            let q = vapp_storage::uber::block_failure_rate(code, raw_ber);
+            // One hash lookup after the first call: the binomial tails
+            // behind these rates cost ~100 µs of `ln_gamma` sums, which
+            // used to dominate analytic-mode `store_load`.
+            let (q, p_corr) = vapp_storage::uber::cached_block_rates(code, raw_ber);
             let blocks = bits.div_ceil(DATA_BITS as u64);
             let mut rng = StdRng::seed_from_u64(seed);
             for b in 0..blocks {
@@ -282,7 +285,6 @@ fn corrupt_stream_bits(
             }
             // Corrected-block tally for this mode is the binomial
             // expectation, computed deterministically — no extra draws.
-            let p_corr = vapp_storage::uber::block_correction_rate(code, raw_ber);
             stats.corrected =
                 ((blocks as f64 * p_corr).round() as u64).min(blocks - stats.uncorrectable);
             stats.clean = blocks - stats.uncorrectable - stats.corrected;
@@ -294,73 +296,83 @@ fn corrupt_stream_bits(
                 .add(stats.uncorrectable);
         }
         EcScheme::Bch(t) => {
-            // Exact model: run the real code per block, one sub-seed per
-            // block so the blocks corrupt in parallel. The BCH decoder
-            // tallies the global `storage.bch.*` outcome counters itself.
+            // Exact model, bitsliced: sub-seeds stay per 512-bit block, but
+            // blocks decode in 64-lane batches on the `vapp-storage` batch
+            // engine, fed the bare injected *error patterns*. That is
+            // outcome-equivalent to encode+flip+decode of the real content:
+            // syndromes are linear and vanish on codewords, so
+            // syndromes(cw + e) = syndromes(e), decode outcomes depend only
+            // on syndromes, and the stream bytes change only on
+            // Uncorrectable — where the decoder applies no corrections and
+            // the damage delivered is exactly the injected flips that land
+            // inside the block's live data bits (property-pinned in
+            // `crates/storage/tests/batch_equivalence.rs`).
             let code = Bch::cached(t as usize);
-            let blocks = bits.div_ceil(DATA_BITS as u64);
-            vapp_obs::counter!("storage.bch.blocks", blocks);
-            let block_seeds = derive_subseeds(seed, blocks as usize);
+            let blocks = bits.div_ceil(DATA_BITS as u64) as usize;
+            vapp_obs::counter!("storage.bch.blocks", blocks as u64);
+            let block_seeds = derive_subseeds(seed, blocks);
             let used = (bits.div_ceil(8) as usize).min(data.len());
-            let per_block = vapp_par::par_chunks(&mut data[..used], DATA_BITS / 8, |b, chunk| {
-                let start = b as u64 * DATA_BITS as u64;
-                let nbits = ((b as u64 + 1) * DATA_BITS as u64).min(bits) - start;
+            let group_bytes = (DATA_BITS / 8) * batch::LANES;
+            let per_group = vapp_par::par_chunks(&mut data[..used], group_bytes, |g, chunk| {
+                let base = g * batch::LANES;
+                let group_blocks = (blocks - base).min(batch::LANES);
                 let mut st = CorruptStats::default();
-                // Flip positions depend only on the block's sub-seed, never
-                // its contents, so they draw first: a block with no flips
-                // (the common case at realistic BERs) round-trips clean
-                // without touching the code at all.
-                let mut rng = StdRng::seed_from_u64(block_seeds[b]);
-                let flips = pick_positions(&[0..code.codeword_bits() as u64], raw_ber, &mut rng);
-                if flips.is_empty() {
-                    st.clean = 1;
-                    vapp_obs::counter!("storage.bch.clean");
-                    return st;
-                }
-                st.flips = flips.len() as u64;
-                // The stream is MSB-first per byte, BitBuf words are
-                // LSB-first: a byte reversal per stream byte assembles the
-                // block, with bits at or past `nbits` masked to zero.
-                let mut words = vec![0u64; DATA_BITS / 64];
-                for (k, &byte) in chunk.iter().enumerate() {
-                    words[k / 8] |= (byte.reverse_bits() as u64) << (8 * (k % 8));
-                }
-                if nbits < DATA_BITS as u64 {
-                    let (w, s) = ((nbits / 64) as usize, (nbits % 64) as u32);
-                    words[w] &= if s == 0 { 0 } else { (1u64 << s) - 1 };
-                    for word in words.iter_mut().skip(w + 1) {
-                        *word = 0;
+                // Flip positions depend only on each block's sub-seed,
+                // never its contents, so they draw first: blocks with no
+                // flips (the common case at realistic BERs) round-trip
+                // clean without touching the code at all.
+                let mut dirty: Vec<(usize, Vec<u64>)> = Vec::new();
+                for lb in 0..group_blocks {
+                    let mut rng = StdRng::seed_from_u64(block_seeds[base + lb]);
+                    let flips =
+                        pick_positions(&[0..code.codeword_bits() as u64], raw_ber, &mut rng);
+                    if flips.is_empty() {
+                        st.clean += 1;
+                    } else {
+                        st.flips += flips.len() as u64;
+                        dirty.push((lb, flips));
                     }
                 }
-                let block = BitBuf::from_words(words, DATA_BITS);
-                let mut cw = code.encode(&block);
-                for &f in &flips {
-                    cw.flip(f as usize);
+                if st.clean > 0 {
+                    vapp_obs::counter!("storage.bch.clean", st.clean);
                 }
-                match code.decode(&mut cw) {
-                    DecodeOutcome::Clean => st.clean = 1,
-                    DecodeOutcome::Corrected(_) => st.corrected = 1,
-                    DecodeOutcome::Uncorrectable => {
-                        st.uncorrectable = 1;
-                        // Deliver the damaged data bits as read: whole
-                        // bytes reversed back, plus the high bits of a
-                        // trailing partial byte.
-                        let dw = cw.words();
-                        let full = (nbits / 8) as usize;
-                        for (k, byte) in chunk.iter_mut().enumerate().take(full) {
-                            *byte = ((dw[k / 8] >> (8 * (k % 8))) as u8).reverse_bits();
-                        }
-                        let rem = (nbits % 8) as u32;
-                        if rem != 0 {
-                            let v = ((dw[full / 8] >> (8 * (full % 8))) as u8).reverse_bits();
-                            let mask = !0u8 << (8 - rem);
-                            chunk[full] = (chunk[full] & !mask) | (v & mask);
+                if dirty.is_empty() {
+                    return st;
+                }
+                // One batch lane per dirty block, holding just its error
+                // pattern; the batch decoder tallies the `storage.bch.*`
+                // outcome counters itself.
+                let mut errs = BlockBatch::zeroed(code, dirty.len());
+                for (lane, (_, flips)) in dirty.iter().enumerate() {
+                    for &f in flips {
+                        errs.flip(lane, f as usize);
+                    }
+                }
+                let outcomes = code.decode_batch(&mut errs);
+                for ((lb, flips), outcome) in dirty.iter().zip(&outcomes) {
+                    match outcome {
+                        DecodeOutcome::Clean => st.clean += 1,
+                        DecodeOutcome::Corrected(_) => st.corrected += 1,
+                        DecodeOutcome::Uncorrectable => {
+                            st.uncorrectable += 1;
+                            // Deliver the damage as read: injected flips in
+                            // the block's live data bits (MSB-first stream
+                            // byte order); parity-region and padding flips
+                            // are never part of the stored payload.
+                            let start = (base + lb) as u64 * DATA_BITS as u64;
+                            let nbits = (start + DATA_BITS as u64).min(bits) - start;
+                            let block = &mut chunk[lb * (DATA_BITS / 8)..];
+                            for &f in flips {
+                                if f < nbits {
+                                    block[(f / 8) as usize] ^= 0x80u8 >> (f % 8);
+                                }
+                            }
                         }
                     }
                 }
                 st
             });
-            for st in per_block {
+            for st in per_group {
                 stats.flips += st.flips;
                 stats.clean += st.clean;
                 stats.corrected += st.corrected;

@@ -14,16 +14,60 @@ use vapp_codec::EncodedVideo;
 use vapp_crypto::{derive_stream_iv, Block, CipherMode, Key};
 
 /// Bits moved per [`read_span`]/[`write_span`] step when relocating a
-/// bit range between buffers.
+/// bit range between buffers in the generic (head/tail/out-of-bounds)
+/// path.
 const SPAN_BITS: usize = 48;
 
 /// Copies `count` bits from `src` starting at `src_bit` to `dst` starting
-/// at `dst_bit` (MSB-first on both sides), up to [`SPAN_BITS`] at a time.
-/// Inherits the span helpers' totality: source bits past the end read as
-/// zero, destination bytes past the end are skipped.
-#[inline]
+/// at `dst_bit` (MSB-first on both sides). Inherits the span helpers'
+/// totality: source bits past the end read as zero, destination bytes
+/// past the end are skipped. Whole destination bytes move through a
+/// shift-merge bulk path (a `u64` per step); span-sized masked writes
+/// handle the unaligned head, the sub-byte tail, and anything near a
+/// buffer end.
 fn copy_bits(dst: &mut [u8], dst_bit: u64, src: &[u8], src_bit: u64, count: u64) {
     let mut done = 0u64;
+    // Head: bring the destination cursor to a byte boundary.
+    let head = ((8 - (dst_bit % 8)) % 8).min(count);
+    if head > 0 {
+        let v = read_span(src, src_bit, head as usize);
+        write_span(dst, dst_bit, head as usize, v);
+        done = head;
+    }
+    // Bulk: whole destination bytes while both sides stay in bounds.
+    let mut d = ((dst_bit + done) / 8) as usize;
+    let mut p = ((src_bit + done) / 8) as usize;
+    let s = ((src_bit + done) % 8) as u32;
+    let mut full = ((count - done) / 8) as usize;
+    if s == 0 {
+        let n = full
+            .min(dst.len().saturating_sub(d))
+            .min(src.len().saturating_sub(p));
+        if n > 0 {
+            dst[d..d + n].copy_from_slice(&src[p..p + n]);
+            done += 8 * n as u64;
+        }
+    } else {
+        // Each output byte straddles two source bytes; move eight at a
+        // time by shift-merging a u64 window with its trailing byte.
+        while full >= 8 && p + 9 <= src.len() && d + 8 <= dst.len() {
+            let w = u64::from_be_bytes(src[p..p + 8].try_into().expect("window is 8 bytes"));
+            let out = (w << s) | (src[p + 8] as u64 >> (8 - s));
+            dst[d..d + 8].copy_from_slice(&out.to_be_bytes());
+            d += 8;
+            p += 8;
+            full -= 8;
+            done += 64;
+        }
+        while full > 0 && p + 1 < src.len() && d < dst.len() {
+            dst[d] = (src[p] << s) | (src[p + 1] >> (8 - s));
+            d += 1;
+            p += 1;
+            full -= 1;
+            done += 8;
+        }
+    }
+    // Tail (and any out-of-bounds remainder): masked span moves.
     while done < count {
         let n = ((count - done).min(SPAN_BITS as u64)) as usize;
         let v = read_span(src, src_bit + done, n);
@@ -223,6 +267,34 @@ mod tests {
         let imp = ImportanceMap::compute(&DependencyGraph::from_analysis(&result.analysis));
         let table = PivotTable::build(&result.analysis, &imp, &[4.0, 32.0, 256.0]);
         (result.stream, table)
+    }
+
+    #[test]
+    fn copy_bits_matches_bitwise_reference() {
+        use vapp_check::RngExt;
+        vapp_check::check("copy_bits_matches_bitwise_reference", 64, |rng| {
+            let src: Vec<u8> = (0..rng.random_range(1..40usize))
+                .map(|_| rng.random())
+                .collect();
+            let dst0: Vec<u8> = (0..rng.random_range(1..40usize))
+                .map(|_| rng.random())
+                .collect();
+            let src_bit = rng.random_range(0..8 * src.len() as u64 + 16);
+            let dst_bit = rng.random_range(0..8 * dst0.len() as u64 + 16);
+            let count = rng.random_range(0..300u64);
+            let mut fast = dst0.clone();
+            copy_bits(&mut fast, dst_bit, &src, src_bit, count);
+            // Reference: move one bit at a time through the span helpers.
+            let mut slow = dst0.clone();
+            for i in 0..count {
+                let v = read_span(&src, src_bit + i, 1);
+                write_span(&mut slow, dst_bit + i, 1, v);
+            }
+            assert_eq!(
+                fast, slow,
+                "src_bit={src_bit} dst_bit={dst_bit} count={count}"
+            );
+        });
     }
 
     #[test]

@@ -64,11 +64,17 @@ fn env_threads() -> Option<usize> {
     })
 }
 
-/// Hardware parallelism, defaulting to 1 when unknown.
+/// Hardware parallelism, defaulting to 1 when unknown. Cached on first
+/// use: `available_parallelism` re-reads affinity masks and cgroup
+/// quotas on every call (microseconds of syscalls and /sys reads), which
+/// used to tax every parallel region entered with no explicit override.
 pub fn available() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static AVAILABLE: OnceLock<usize> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Sets (or with `None` clears) the process-wide worker-count override.

@@ -53,9 +53,12 @@ impl CellArray {
             self.bits_per_cell,
             "substrate geometry changed between write and read"
         );
+        // Batched substrate access: one `read_levels` sweep over the
+        // whole array (identical RNG stream to per-cell `write_read`).
+        let mut read_back = Vec::new();
+        substrate.read_levels(&self.levels, t_days, rng, &mut read_back);
         let mut out = BitBuf::zeroed(self.bits);
-        for (c, &level) in self.levels.iter().enumerate() {
-            let read_level = substrate.write_read(level, t_days, rng);
+        for (c, &read_level) in read_back.iter().enumerate() {
             let g = gray(read_level);
             let i = c * self.bits_per_cell as usize;
             let n = (self.bits_per_cell as usize).min(self.bits - i);

@@ -358,7 +358,7 @@ impl Bch {
 
 /// Single error: σ(x) = 1 + σ1·x has the root α^{-k} = 1/σ1, so
 /// k = log σ1 directly.
-fn locate_deg1(sigma: &[u16], n: usize, gf: &Gf1024) -> Option<Vec<usize>> {
+pub(crate) fn locate_deg1(sigma: &[u16], n: usize, gf: &Gf1024) -> Option<Vec<usize>> {
     let s1 = sigma[1];
     if s1 == 0 {
         return None; // actual degree 0: no roots, count mismatch
@@ -370,7 +370,7 @@ fn locate_deg1(sigma: &[u16], n: usize, gf: &Gf1024) -> Option<Vec<usize>> {
 /// Two errors: normalize σ2·x² + σ1·x + 1 via x = (σ1/σ2)·y into
 /// y² + y = σ2/σ1² and solve with the precomputed quadratic table; the
 /// two roots map back to the two error positions.
-fn locate_deg2(sigma: &[u16], n: usize, gf: &Gf1024) -> Option<Vec<usize>> {
+pub(crate) fn locate_deg2(sigma: &[u16], n: usize, gf: &Gf1024) -> Option<Vec<usize>> {
     let (s1, s2) = (sigma[1], sigma[2]);
     if s1 == 0 || s2 == 0 {
         // Degenerate locator (a repeated root, or actual degree < 2):
@@ -397,7 +397,7 @@ fn locate_deg2(sigma: &[u16], n: usize, gf: &Gf1024) -> Option<Vec<usize>> {
 /// coefficient per step; σ(α^{-k}) is then just the xor of the q_d.
 /// Early-exits once `deg` roots are found (a degree-`deg` polynomial
 /// has no more).
-fn chien_search(sigma: &[u16], n: usize, gf: &Gf1024) -> Option<Vec<usize>> {
+pub(crate) fn chien_search(sigma: &[u16], n: usize, gf: &Gf1024) -> Option<Vec<usize>> {
     let deg = sigma.len() - 1;
     let mut q = sigma.to_vec();
     let mut positions = Vec::with_capacity(deg);
@@ -420,7 +420,7 @@ fn chien_search(sigma: &[u16], n: usize, gf: &Gf1024) -> Option<Vec<usize>> {
 }
 
 /// Berlekamp–Massey over GF(2^10): returns σ(x) coefficients, σ[0] = 1.
-fn berlekamp_massey(syndromes: &[u16], gf: &Gf1024) -> Vec<u16> {
+pub(crate) fn berlekamp_massey(syndromes: &[u16], gf: &Gf1024) -> Vec<u16> {
     let mut sigma = vec![1u16];
     let mut b = vec![1u16];
     let mut l = 0usize;
@@ -465,7 +465,7 @@ fn grow_xor(sigma: &mut Vec<u16>, b: &[u16], coef: u16, shift: usize, gf: &Gf102
 
 /// Generator polynomial of the t-error-correcting BCH code over GF(2^10):
 /// lcm of the minimal polynomials of α^1 … α^{2t}. Coefficients in GF(2).
-fn generator_poly(t: usize) -> Vec<bool> {
+pub(crate) fn generator_poly(t: usize) -> Vec<bool> {
     let gf = Gf1024::get();
     let mut seen = vec![false; GF_ORDER];
     // g as a GF(2) polynomial, bool per coefficient.

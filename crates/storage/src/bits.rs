@@ -334,6 +334,30 @@ impl BitBuf {
     }
 }
 
+/// Transposes a 64×64 bit matrix in place: on return, bit `i` of
+/// `m[j]` equals bit `j` of the input's `m[i]` (LSB-first columns).
+///
+/// This is the struct-of-arrays pivot behind the batch BCH kernels: 64
+/// codeword words (one per block) become 64 bit-planes (one per bit
+/// position), so a whole batch advances with single `u64` ops per bit
+/// position. Recursive block swaps (Hacker's Delight §7-3, adapted to
+/// the LSB-first column convention), six passes of masked exchanges.
+pub fn transpose64(m: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut mask: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((m[k] >> j) ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
 /// Iterator over set-bit indices of a [`BitBuf`].
 pub struct IterOnes<'a> {
     words: &'a [u64],
@@ -506,5 +530,32 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_get_panics() {
         BitBuf::zeroed(4).get(4);
+    }
+
+    #[test]
+    fn transpose64_matches_naive_and_is_involution() {
+        vapp_check::check("transpose64_matches_naive", 32, |rng| {
+            use vapp_check::RngExt;
+            let mut m = [0u64; 64];
+            for w in m.iter_mut() {
+                *w = rng.random::<u64>();
+            }
+            let original = m;
+            transpose64(&mut m);
+            // Indexing both matrices by (i, j) is the statement of the
+            // transpose property itself.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..64 {
+                for j in 0..64 {
+                    assert_eq!(
+                        (m[j] >> i) & 1,
+                        (original[i] >> j) & 1,
+                        "bit ({i},{j}) misplaced"
+                    );
+                }
+            }
+            transpose64(&mut m);
+            assert_eq!(m, original, "transpose must be an involution");
+        });
     }
 }

@@ -123,6 +123,18 @@ impl Gf1024 {
         self.exp[self.log[a as usize] as usize + log_b]
     }
 
+    /// Field squaring. Squaring is GF(2)-linear over the polynomial
+    /// basis (cross terms carry factor 2 = 0), which is what lets the
+    /// batch decoder derive even syndromes from odd ones with a fixed
+    /// 10×10 bit matrix instead of per-element multiplies.
+    #[inline]
+    pub fn square(&self, a: u16) -> u16 {
+        if a == 0 {
+            return 0;
+        }
+        self.exp[(2 * self.log[a as usize] as usize) % GF_ORDER]
+    }
+
     /// A root `y` of `y² + y = c`, if one exists; the other root is
     /// `y ^ 1`. Exactly half of the field's elements have solutions
     /// (those with zero trace).
@@ -213,6 +225,19 @@ mod tests {
         }
         // The trace splits the field in half: 512 of 1024 values solvable.
         assert_eq!(solvable, 512);
+    }
+
+    #[test]
+    fn square_matches_mul_and_is_linear() {
+        let gf = Gf1024::get();
+        for a in 0..=GF_ORDER as u16 {
+            assert_eq!(gf.square(a), gf.mul(a, a), "a = {a}");
+        }
+        // GF(2)-linearity: (a + b)² = a² + b² — the Frobenius property
+        // the batch decoder's even-syndrome matrix relies on.
+        for (a, b) in [(3u16, 7u16), (100, 900), (512, 2), (1023, 511)] {
+            assert_eq!(gf.square(a ^ b), gf.square(a) ^ gf.square(b));
+        }
     }
 
     #[test]

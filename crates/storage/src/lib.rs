@@ -31,6 +31,7 @@
 //! ```
 
 pub mod array;
+pub mod batch;
 pub mod bch;
 pub mod bits;
 pub mod density;

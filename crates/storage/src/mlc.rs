@@ -269,6 +269,38 @@ impl MlcSubstrate {
         read
     }
 
+    /// Batch Monte Carlo read: for each written level, the level read
+    /// back after `t_days`, appended to `out`. Bit-identical to calling
+    /// [`MlcSubstrate::write_read`] once per cell with the same RNG
+    /// (same draw order, same float association), but hoists the
+    /// per-level drifted means out of the loop — the dominant cost when
+    /// reading whole arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any written level is out of range.
+    pub fn read_levels(&self, written: &[u8], t_days: f64, rng: &mut StdRng, out: &mut Vec<u8>) {
+        // `centers[l] + drift` first, `+ noise` second: the exact
+        // association `write_read` uses, so results match to the ULP.
+        let mut means = [0.0f64; 16];
+        for l in 0..self.cfg.levels {
+            means[l as usize] = self.centers[l as usize] + drift_shift(&self.cfg, l, t_days);
+        }
+        out.reserve(written.len());
+        for &level in written {
+            assert!(level < self.cfg.levels, "level out of range");
+            let noise = gaussian(rng) * self.cfg.sigma;
+            let analog = means[level as usize] + noise;
+            let mut read = 0u8;
+            for (k, &th) in self.thresholds.iter().enumerate() {
+                if analog > th {
+                    read = (k + 1) as u8;
+                }
+            }
+            out.push(read);
+        }
+    }
+
     /// Monte Carlo estimate of the raw BER over `cells` random cells.
     pub fn monte_carlo_ber(&self, cells: usize, t_days: f64, rng: &mut StdRng) -> f64 {
         let bits = self.bits_per_cell() as usize;
@@ -413,6 +445,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for level in 0..8 {
             assert_eq!(s.write_read(level, 90.0, &mut rng), level);
+        }
+    }
+
+    #[test]
+    fn read_levels_matches_write_read_sequence() {
+        let s = MlcSubstrate::tuned_for_ber(MlcConfig::default(), 1e-2);
+        let written: Vec<u8> = (0..997u32).map(|i| (i % 8) as u8).collect();
+        for t_days in [0.0, 1.0, DEFAULT_SCRUB_DAYS, 400.0] {
+            let mut a = StdRng::seed_from_u64(17);
+            let mut b = StdRng::seed_from_u64(17);
+            let mut batch = Vec::new();
+            s.read_levels(&written, t_days, &mut a, &mut batch);
+            let per_cell: Vec<u8> = written
+                .iter()
+                .map(|&l| s.write_read(l, t_days, &mut b))
+                .collect();
+            assert_eq!(batch, per_cell, "t_days={t_days}");
         }
     }
 

@@ -84,6 +84,29 @@ pub fn block_correction_rate(code: &Bch, raw_ber: f64) -> f64 {
     (binomial_tail(n, raw_ber, 0) - binomial_tail(n, raw_ber, code.t() as u64)).max(0.0)
 }
 
+/// Memoized `(block_failure_rate, block_correction_rate)` pair for a
+/// `(code strength, raw_ber)` key. The binomial tails cost thousands of
+/// `ln_gamma` evaluations; the analytic pipeline mode asks for the same
+/// pair on every `store_load` call, so a process-wide cache turns that
+/// into a hash lookup after the first computation.
+pub fn cached_block_rates(code: &Bch, raw_ber: f64) -> (f64, f64) {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type RateCache = Mutex<HashMap<(usize, u64), (f64, f64)>>;
+    static CACHE: OnceLock<RateCache> = OnceLock::new();
+    let key = (code.t(), raw_ber.to_bits());
+    let mut map = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("block-rate cache poisoned");
+    *map.entry(key).or_insert_with(|| {
+        (
+            block_failure_rate(code, raw_ber),
+            block_correction_rate(code, raw_ber),
+        )
+    })
+}
+
 /// Expected fraction of *data* bits left in error after decoding: failed
 /// blocks keep (approximately) their raw errors, corrected blocks none.
 pub fn residual_ber(code: &Bch, raw_ber: f64) -> f64 {
@@ -168,6 +191,18 @@ mod tests {
         // At these rates nearly every errored block is correctable.
         assert!(p_corr > p_fail * 100.0);
         assert_eq!(block_correction_rate(&code, 0.0), 0.0);
+    }
+
+    #[test]
+    fn cached_rates_match_direct_computation() {
+        let code = Bch::new(6);
+        for p in [1e-4, 1e-3, 2e-2] {
+            let (q, c) = cached_block_rates(&code, p);
+            assert_eq!(q, block_failure_rate(&code, p));
+            assert_eq!(c, block_correction_rate(&code, p));
+            // Second lookup serves from cache, same values.
+            assert_eq!(cached_block_rates(&code, p), (q, c));
+        }
     }
 
     #[test]
