@@ -44,6 +44,9 @@ fn bench_parallel(c: &mut Criterion) {
         });
     }
     group.finish();
+    // Expose the run's counters — notably the par.worker.* utilization
+    // series — for scaling_check --obs (and VAPP_OBS_TRACE if set).
+    vapp_obs::maybe_write_run_snapshot("parallel");
 }
 
 criterion_group!(benches, bench_parallel);

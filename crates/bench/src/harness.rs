@@ -22,6 +22,10 @@
 //!       "median_ns": 1200.0,
 //!       "min_ns": 1100.0,
 //!       "max_ns": 1400.0,
+//!       "p50_ns": 1201.0,
+//!       "p90_ns": 1380.0,
+//!       "p95_ns": 1391.0,
+//!       "p99_ns": 1399.0,
 //!       "stddev_ns": 55.0,
 //!       "throughput_bytes": 65536,
 //!       "bytes_per_sec": 5.2e10
@@ -104,6 +108,16 @@ pub struct BenchStats {
     pub max_ns: f64,
     /// Sample standard deviation across batches.
     pub stddev_ns: f64,
+    /// Sketch-estimated per-iteration percentiles (each batch's
+    /// per-iteration time weighted by its iteration count; ~1% relative
+    /// error — see `vapp_obs::sketch`).
+    pub p50_ns: f64,
+    /// 90th percentile per-iteration time.
+    pub p90_ns: f64,
+    /// 95th percentile per-iteration time.
+    pub p95_ns: f64,
+    /// 99th percentile per-iteration time.
+    pub p99_ns: f64,
     /// Declared throughput, if any.
     pub throughput: Option<Throughput>,
 }
@@ -120,6 +134,14 @@ impl BenchStats {
         let mean = per_iter_ns.iter().sum::<f64>() / n as f64;
         let var =
             per_iter_ns.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0).max(1.0);
+        // Percentiles come from a quantile sketch fed one entry per
+        // batch, weighted by that batch's iteration count — so an entry
+        // like `p99_ns` reads as "99% of iterations were at least this
+        // fast" rather than "the 99th-best batch".
+        let mut sketch = vapp_obs::Sketch::new();
+        for &s in &per_iter_ns {
+            sketch.record_n(s.round().max(0.0) as u64, iters.max(1));
+        }
         BenchStats {
             name,
             samples: per_iter_ns.len(),
@@ -129,6 +151,10 @@ impl BenchStats {
             min_ns: per_iter_ns.first().copied().unwrap_or(mean),
             max_ns: per_iter_ns.last().copied().unwrap_or(mean),
             stddev_ns: var.sqrt(),
+            p50_ns: sketch.quantile(0.50),
+            p90_ns: sketch.quantile(0.90),
+            p95_ns: sketch.quantile(0.95),
+            p99_ns: sketch.quantile(0.99),
             throughput,
         }
     }
@@ -318,6 +344,10 @@ fn render_json(group: &str, results: &[BenchStats]) -> String {
         ));
         out.push_str(&format!("      \"min_ns\": {},\n", json_f64(s.min_ns)));
         out.push_str(&format!("      \"max_ns\": {},\n", json_f64(s.max_ns)));
+        out.push_str(&format!("      \"p50_ns\": {},\n", json_f64(s.p50_ns)));
+        out.push_str(&format!("      \"p90_ns\": {},\n", json_f64(s.p90_ns)));
+        out.push_str(&format!("      \"p95_ns\": {},\n", json_f64(s.p95_ns)));
+        out.push_str(&format!("      \"p99_ns\": {},\n", json_f64(s.p99_ns)));
         out.push_str(&format!("      \"stddev_ns\": {}", json_f64(s.stddev_ns)));
         match s.throughput {
             Some(Throughput::Bytes(b)) => {
@@ -376,6 +406,12 @@ mod tests {
         assert_eq!(s.max_ns, 300.0);
         assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
         assert!((s.mean_ns - 212.5).abs() < 1e-9);
+        // Percentiles are ordered, bracketed by min/max, and within the
+        // sketch's ~1% relative error of the exact order statistics.
+        assert!(s.min_ns <= s.p50_ns && s.p50_ns <= s.p90_ns);
+        assert!(s.p90_ns <= s.p95_ns && s.p95_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
+        assert!((s.p50_ns - 200.0).abs() / 200.0 < 0.02, "p50 {}", s.p50_ns);
+        assert!((s.p99_ns - 300.0).abs() / 300.0 < 0.02, "p99 {}", s.p99_ns);
         let (rate, unit) = s.rate_per_sec().expect("throughput set");
         assert_eq!(unit, "bytes_per_sec");
         assert!((rate - 1000.0 * 1e9 / s.median_ns).abs() < 1e-6);
@@ -396,6 +432,9 @@ mod tests {
         assert!(json.contains("\"group\": \"harness_selftest\""));
         assert!(json.contains("\"name\": \"busywork\""));
         assert!(json.contains("\"median_ns\":"));
+        assert!(json.contains("\"p50_ns\":"));
+        assert!(json.contains("\"p95_ns\":"));
+        assert!(json.contains("\"p99_ns\":"));
         group.finish();
         let path = std::env::temp_dir()
             .join("vapp-bench-harness-test")

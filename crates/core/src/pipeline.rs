@@ -519,6 +519,8 @@ pub fn measure_loss_curve(
     rates: &[f64],
     trials: vapp_sim::Trials,
 ) -> crate::assignment::LossCurve {
+    let n_rates = rates.len();
+    let _span = vapp_obs::span!("core.loss.curve", n_rates);
     let error_free = decode(stream);
     let baseline = video_psnr(original, &error_free);
     let mut points = Vec::with_capacity(rates.len());

@@ -6,22 +6,32 @@
 //!
 //! * **Spans** — [`span!`] opens a named, hierarchical wall-clock span
 //!   (`Instant`-backed) that records its duration on drop into per-name
-//!   aggregate statistics and a bounded per-run timeline.
+//!   aggregate statistics, the call-path profile ([`profile`]) and a
+//!   bounded per-run timeline.
+//! * **Profile** — completed spans aggregate by *full call path*
+//!   (`outer>inner`) with self-time attribution; worker pools install
+//!   the spawning thread's path as a prefix
+//!   ([`span::with_path_prefix`]) so the tree is identical at any
+//!   thread count. Rendered by `obs_report`.
 //! * **Metrics** — [`counter!`] and [`histogram!`] update a global
-//!   registry of named monotonic counters and fixed-bucket (power-of-two)
-//!   histograms. Values are atomics; the name → handle maps are the only
-//!   locks and handles can be hoisted out of hot loops via
-//!   [`Registry::counter`] / [`Registry::histogram`].
+//!   registry of named monotonic counters and histograms backed by a
+//!   mergeable log-bucketed quantile sketch ([`sketch`], ~1% relative
+//!   error, constant memory) that answers p50/p90/p95/p99/p999. Values
+//!   are atomics; the name → handle maps are the only locks and handles
+//!   can be hoisted out of hot loops via [`Registry::counter`] /
+//!   [`Registry::histogram`].
 //! * **Events** — [`event!`] and the leveled shorthands ([`error!`],
 //!   [`warn!`], [`info!`], [`debug!`], [`trace!`]) replace ad-hoc
 //!   `eprintln!` diagnostics. They format and print *only* when enabled
 //!   by the `VAPP_OBS` environment variable, so library crates are
 //!   silent by default.
 //! * **Sinks** — a human-readable stderr sink gated by
-//!   `VAPP_OBS=error|warn|info|debug|trace` (default: off), and a
+//!   `VAPP_OBS=error|warn|info|debug|trace` (default: off), a
 //!   machine-readable JSON snapshot ([`Snapshot::to_json`], written as
 //!   `OBS_<run>.json` by [`write_run_snapshot`] — same shape discipline
-//!   as the bench harness's `BENCH_*.json`).
+//!   as the bench harness's `BENCH_*.json`; schema documented in
+//!   [`snapshot`]), and a chrome://tracing trace-event export
+//!   ([`trace`], written by [`write_trace`]).
 //!
 //! ## Naming convention
 //!
@@ -38,6 +48,10 @@
 //!   the variable only gates the stderr sink.
 //! * `VAPP_OBS_OUT` — when set to a directory, [`maybe_write_run_snapshot`]
 //!   writes `OBS_<run>.json` there (used by the CLI, the examples and CI).
+//! * `VAPP_OBS_TRACE` — when set to a file path, every snapshot-emitting
+//!   entry point also writes a chrome://tracing trace-event JSON there
+//!   ([`maybe_write_trace`]); `vapp --trace out.json` sets the same sink
+//!   explicitly.
 //!
 //! ## Test isolation
 //!
@@ -59,16 +73,23 @@
 
 pub mod json;
 pub mod level;
+pub mod profile;
 pub mod registry;
+pub mod sketch;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use level::{set_stderr_level, stderr_enabled, stderr_level, Level};
+pub use profile::ProfileEntry;
 pub use registry::{current, global, Registry};
+pub use sketch::Sketch;
 pub use snapshot::{
     maybe_write_run_snapshot, write_run_snapshot, HistogramSnapshot, Snapshot, SpanSnapshot,
+    SCHEMA_MAJOR, SCHEMA_VERSION,
 };
 pub use span::Span;
+pub use trace::{maybe_write_trace, write_trace};
 
 /// Opens a wall-clock span; the returned guard records the duration when
 /// dropped. Extra expressions become `name=value` fields on the
@@ -119,7 +140,8 @@ macro_rules! counter {
     };
 }
 
-/// Records a value into a named power-of-two-bucket histogram.
+/// Records a value into a named histogram (log-bucketed quantile
+/// sketch; see [`sketch`]).
 ///
 /// ```
 /// vapp_obs::histogram!("sim.flips.per_draw", 12u64);

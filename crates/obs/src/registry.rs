@@ -1,9 +1,19 @@
-//! The metrics registry: named counters, histograms and span statistics.
+//! The metrics registry: named counters, histograms, span statistics
+//! and the call-path profile.
 //!
 //! Values are plain atomics — recording never blocks on other recorders.
-//! The only locks are the name → handle maps, taken once per lookup;
+//! The only locks are the name → handle maps (taken once per lookup;
 //! hot loops should hoist the [`Counter`] / [`Histogram`] handle out of
-//! the loop (see [`Registry::counter`]).
+//! the loop, see [`Registry::counter`]) and the timeline/profile maps
+//! (taken once per *span close*, which is coarse by design).
+//!
+//! Lock poisoning is survivable by construction: a worker thread that
+//! panics while a span guard is live drops that span during unwinding,
+//! and the drop path must still be able to record — so every lock site
+//! recovers the inner value with `unwrap_or_else(|e| e.into_inner())`
+//! instead of cascading the panic into an abort. The maps hold only
+//! monotonic aggregates, so a poisoned-then-recovered map is never
+//! structurally torn.
 //!
 //! There is one process-global registry ([`global`]) plus a thread-local
 //! override stack ([`with_registry`]) so tests and property-check cases
@@ -13,10 +23,18 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+use crate::profile::ProfileEntry;
+use crate::sketch::{self, Sketch};
 use crate::snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
+
+/// Locks a mutex, recovering the guard if a panicking thread poisoned
+/// it (see the module docs — observability must survive unwinding).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A monotonic event counter.
 #[derive(Debug, Default)]
@@ -35,16 +53,27 @@ impl Counter {
     }
 }
 
-/// Number of histogram buckets: one per possible bit length of a `u64`
-/// value, plus one for zero.
+/// Legacy power-of-two bucket count (pre-2.0 snapshot surface): one per
+/// possible bit length of a `u64` value, plus one for zero. Histograms
+/// are now backed by the finer [`crate::sketch`] buckets; these coarse
+/// bins remain exactly reconstructible from them.
 pub const HISTOGRAM_BUCKETS: usize = 65;
 
-/// A fixed-bucket histogram with power-of-two bucket edges: bucket `b`
-/// (for `b > 0`) counts values in `[2^(b-1), 2^b - 1]`; bucket 0 counts
-/// exact zeros. Also tracks count, sum, min and max exactly.
+/// Legacy bucket index of a value: its bit length (0 for 0). Kept as
+/// the documented meaning of a snapshot's `buckets` field.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// A histogram backed by the log-bucketed quantile sketch
+/// ([`crate::sketch`]): γ = 2^(1/32) geometric buckets recorded as
+/// atomics, plus exact count, sum, min and max. Snapshots carry both
+/// the sketch (for p50..p999) and the legacy power-of-two buckets
+/// derived from it.
 #[derive(Debug)]
 pub struct Histogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
@@ -54,7 +83,9 @@ pub struct Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            buckets: (0..sketch::SKETCH_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
@@ -63,44 +94,49 @@ impl Default for Histogram {
     }
 }
 
-/// Bucket index of a value: its bit length (0 for 0).
-#[inline]
-pub fn bucket_of(value: u64) -> usize {
-    (u64::BITS - value.leading_zeros()) as usize
-}
-
 impl Histogram {
     /// Records one value.
     #[inline]
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[sketch::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+    /// The recorded distribution as a mergeable [`Sketch`].
+    pub fn to_sketch(&self) -> Sketch {
         let count = self.count.load(Ordering::Relaxed);
+        let sparse: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let c = c.load(Ordering::Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect();
+        Sketch::from_parts(
+            &sparse,
+            count,
+            self.sum.load(Ordering::Relaxed),
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+        .expect("atomic buckets are consistent with their own count")
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let sketch = self.to_sketch();
         HistogramSnapshot {
             name: name.to_string(),
-            count,
-            sum: self.sum.load(Ordering::Relaxed),
-            min: if count == 0 {
-                0
-            } else {
-                self.min.load(Ordering::Relaxed)
-            },
-            max: self.max.load(Ordering::Relaxed),
-            buckets: self
-                .buckets
-                .iter()
-                .enumerate()
-                .filter_map(|(b, c)| {
-                    let c = c.load(Ordering::Relaxed);
-                    (c > 0).then_some((b as u32, c))
-                })
-                .collect(),
+            count: sketch.count(),
+            sum: sketch.sum(),
+            min: sketch.min(),
+            max: sketch.max(),
+            buckets: sketch.legacy_pow2_buckets(),
+            sketch,
         }
     }
 }
@@ -150,6 +186,32 @@ impl SpanStats {
     }
 }
 
+/// Aggregate statistics for one *call path* (the `>`-joined chain of
+/// open span names, worker prefixes included — see
+/// [`crate::span::with_path_prefix`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathStats {
+    /// Completed instances of this exact path.
+    pub count: u64,
+    /// Total wall-clock time, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest instance.
+    pub min_ns: u64,
+    /// Slowest instance.
+    pub max_ns: u64,
+}
+
+impl Default for PathStats {
+    fn default() -> Self {
+        PathStats {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
 /// One completed span on the timeline (an individual record, unlike the
 /// per-name aggregates — this is what gives *per-frame* durations).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -164,6 +226,10 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Wall-clock duration in nanoseconds.
     pub dur_ns: u64,
+    /// Stable per-thread id ([`crate::span::current_tid`]; 1-based,
+    /// assigned on first span close per thread) — the trace-event
+    /// export's `tid`.
+    pub tid: u64,
 }
 
 /// Timeline capacity. Beyond this, records are counted as dropped rather
@@ -177,14 +243,15 @@ struct Timeline {
     dropped: u64,
 }
 
-/// A collection point for counters, histograms, span statistics and the
-/// span timeline.
+/// A collection point for counters, histograms, span statistics, the
+/// span timeline and the call-path profile.
 #[derive(Debug)]
 pub struct Registry {
     epoch: Instant,
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     spans: Mutex<BTreeMap<String, Arc<SpanStats>>>,
+    profile: Mutex<BTreeMap<String, PathStats>>,
     timeline: Mutex<Timeline>,
 }
 
@@ -202,6 +269,7 @@ impl Registry {
             counters: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
+            profile: Mutex::new(BTreeMap::new()),
             timeline: Mutex::new(Timeline::default()),
         }
     }
@@ -215,7 +283,7 @@ impl Registry {
     /// The counter registered under `name`, creating it on first use.
     /// The handle is cheap to clone and can be cached across calls.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("counter map poisoned");
+        let mut map = lock_recover(&self.counters);
         if let Some(c) = map.get(name) {
             return Arc::clone(c);
         }
@@ -226,7 +294,7 @@ impl Registry {
 
     /// The histogram registered under `name`, creating it on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        let mut map = lock_recover(&self.histograms);
         if let Some(h) = map.get(name) {
             return Arc::clone(h);
         }
@@ -238,7 +306,7 @@ impl Registry {
     /// The span statistics registered under `name`, creating them on
     /// first use.
     pub fn span_stats(&self, name: &str) -> Arc<SpanStats> {
-        let mut map = self.spans.lock().expect("span map poisoned");
+        let mut map = lock_recover(&self.spans);
         if let Some(s) = map.get(name) {
             return Arc::clone(s);
         }
@@ -247,10 +315,21 @@ impl Registry {
         s
     }
 
+    /// Folds one completed span into the call-path profile under its
+    /// full `>`-joined path.
+    pub fn record_path(&self, path: &str, dur_ns: u64) {
+        let mut map = lock_recover(&self.profile);
+        let stats = map.entry(path.to_string()).or_default();
+        stats.count += 1;
+        stats.total_ns += dur_ns;
+        stats.min_ns = stats.min_ns.min(dur_ns);
+        stats.max_ns = stats.max_ns.max(dur_ns);
+    }
+
     /// Appends one completed span to the timeline (or counts it as
     /// dropped past [`TIMELINE_CAP`]).
     pub fn record_span(&self, record: SpanRecord) {
-        let mut tl = self.timeline.lock().expect("timeline poisoned");
+        let mut tl = lock_recover(&self.timeline);
         if tl.records.len() < TIMELINE_CAP {
             tl.records.push(record);
         } else {
@@ -260,32 +339,26 @@ impl Registry {
 
     /// A consistent copy of everything collected so far.
     pub fn snapshot(&self) -> Snapshot {
-        let counters = self
-            .counters
-            .lock()
-            .expect("counter map poisoned")
+        let counters = lock_recover(&self.counters)
             .iter()
             .map(|(name, c)| (name.clone(), c.get()))
             .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            .expect("histogram map poisoned")
+        let histograms = lock_recover(&self.histograms)
             .iter()
             .map(|(name, h)| h.snapshot(name))
             .collect();
-        let spans = self
-            .spans
-            .lock()
-            .expect("span map poisoned")
+        let spans = lock_recover(&self.spans)
             .iter()
             .map(|(name, s)| s.snapshot(name))
             .collect();
-        let tl = self.timeline.lock().expect("timeline poisoned");
+        let profile = ProfileEntry::from_paths(lock_recover(&self.profile).iter());
+        let tl = lock_recover(&self.timeline);
         Snapshot {
+            captured_ns: self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             counters,
             histograms,
             spans,
+            profile,
             timeline: tl.records.clone(),
             timeline_dropped: tl.dropped,
         }
@@ -364,8 +437,22 @@ mod tests {
         assert_eq!(hs.sum, 1006);
         assert_eq!(hs.min, 0);
         assert_eq!(hs.max, 1000);
-        // buckets: 0 -> b0, 1 -> b1, {2,3} -> b2, 1000 -> b10
+        // Legacy buckets: 0 -> b0, 1 -> b1, {2,3} -> b2, 1000 -> b10 —
+        // the sketch-backed histogram must reconstruct these exactly.
         assert_eq!(hs.buckets, vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+        assert_eq!(hs.sketch.count(), 5);
+    }
+
+    #[test]
+    fn histogram_sketch_reports_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.to_sketch();
+        let p50 = s.quantile(0.5);
+        assert!((p50 - 500.0).abs() / 500.0 <= 0.02, "p50 {p50}");
     }
 
     #[test]
@@ -408,10 +495,56 @@ mod tests {
                 depth: 1,
                 start_ns: i as u64,
                 dur_ns: 1,
+                tid: 1,
             });
         }
         let snap = reg.snapshot();
         assert_eq!(snap.timeline.len(), TIMELINE_CAP);
         assert_eq!(snap.timeline_dropped, 3);
+    }
+
+    #[test]
+    fn panic_inside_a_span_still_yields_a_usable_snapshot() {
+        // A worker that panics drops its live span guards during
+        // unwinding; the registry must absorb that (recovering any
+        // poisoned lock) and keep snapshotting.
+        let reg = Arc::new(Registry::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_registry(reg.clone(), || {
+                let _outer = crate::span!("test.panic.outer");
+                let _inner = crate::span!("test.panic.inner");
+                reg.counter("test.panic.before").add(1);
+                panic!("worker exploded mid-span");
+            })
+        }));
+        assert!(result.is_err());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("test.panic.before"), 1);
+        // Both spans closed during unwinding and were recorded.
+        assert_eq!(snap.span("test.panic.inner").expect("inner").count, 1);
+        assert_eq!(snap.span("test.panic.outer").expect("outer").count, 1);
+        assert_eq!(snap.timeline.len(), 2);
+        assert!(snap
+            .profile
+            .iter()
+            .any(|p| p.path == "test.panic.outer>test.panic.inner"));
+    }
+
+    #[test]
+    fn path_profile_aggregates_by_full_path() {
+        let reg = Registry::new();
+        reg.record_path("a>b", 10);
+        reg.record_path("a>b", 30);
+        reg.record_path("a", 50);
+        let snap = reg.snapshot();
+        let ab = snap.profile.iter().find(|p| p.path == "a>b").expect("a>b");
+        assert_eq!(
+            (ab.count, ab.total_ns, ab.min_ns, ab.max_ns),
+            (2, 40, 10, 30)
+        );
+        let a = snap.profile.iter().find(|p| p.path == "a").expect("a");
+        // Self time = own total minus direct children's total.
+        assert_eq!(a.self_ns, 10);
+        assert_eq!(ab.self_ns, 40);
     }
 }

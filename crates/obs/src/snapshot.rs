@@ -3,18 +3,24 @@
 //! shape-discipline as the bench harness's `BENCH_*.json`) and a compact
 //! human-readable text rendering.
 //!
-//! JSON schema (stable compatibility surface — benches and CI diff these
-//! files across PRs):
+//! JSON schema **2.0** (stable compatibility surface — `obs_report`
+//! diffs these files across runs and CI gates on them; see DESIGN.md §7
+//! for the field-by-field contract):
 //!
 //! ```json
 //! {
 //!   "obs": "vapp-obs",
+//!   "schema_version": "2.0",
 //!   "run": "store",
+//!   "epoch_base": "registry-creation",
+//!   "captured_ns": 48123456,
 //!   "counters": { "core.level.0.stored_bits": 57344, ... },
 //!   "histograms": {
 //!     "sim.flips.per_draw": {
 //!       "count": 30, "sum": 171, "min": 2, "max": 11,
-//!       "buckets": [[2, 7], [3, 14], [4, 9]]
+//!       "buckets": [[2, 7], [3, 14], [4, 9]],
+//!       "quantiles": {"p50": 5.7, "p90": 9.2, "p95": 10.1, "p99": 11.0, "p999": 11.0},
+//!       "sketch": [[34, 7], [52, 14], [71, 9]]
 //!     }
 //!   },
 //!   "spans": {
@@ -23,23 +29,45 @@
 //!       "min_ns": 901234, "max_ns": 3456789, "mean_ns": 1692386.8
 //!     }
 //!   },
+//!   "profile": {
+//!     "core.store.load": {"count": 1, "total_ns": 81234567,
+//!       "self_ns": 1234567, "min_ns": 81234567, "max_ns": 81234567},
+//!     "core.store.load>core.level.corrupt": {"count": 3, ...}
+//!   },
 //!   "timeline": [
 //!     {"span": "codec.frame.encode", "fields": "coding=0,ft=I",
-//!      "depth": 2, "start_ns": 1200, "dur_ns": 3456789}
+//!      "depth": 2, "start_ns": 1200, "dur_ns": 3456789, "tid": 1}
 //!   ],
 //!   "timeline_dropped": 0
 //! }
 //! ```
 //!
-//! Histogram `buckets` entries are `[bit_length, count]` pairs: bucket
-//! `b > 0` counts values in `[2^(b-1), 2^b - 1]`, bucket 0 counts exact
-//! zeros. Only non-empty buckets appear.
+//! All `*_ns` timestamps are **offsets from the registry epoch** (its
+//! creation instant — `epoch_base`); `captured_ns` is the snapshot
+//! instant on the same axis. Histogram `buckets` entries are the legacy
+//! `[bit_length, count]` pairs (bucket `b > 0` counts values in
+//! `[2^(b-1), 2^b - 1]`, bucket 0 exact zeros), reconstructed exactly
+//! from the finer `sketch` pairs (`[sketch_bucket_index, count]`, see
+//! [`crate::sketch`]); only non-empty buckets appear in either.
+//! `quantiles` are derived from the sketch at snapshot time.
+//!
+//! [`Snapshot::from_json`] rejects documents whose `schema_version`
+//! major differs from [`SCHEMA_MAJOR`] — consumers must never silently
+//! misread a future layout.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use crate::json::{escape, fmt_f64};
+use crate::json::{escape, fmt_f64, Value};
+use crate::profile::ProfileEntry;
 use crate::registry::SpanRecord;
+use crate::sketch::Sketch;
+
+/// Snapshot JSON schema version written by this crate.
+pub const SCHEMA_VERSION: &str = "2.0";
+
+/// Major version accepted by [`Snapshot::from_json`].
+pub const SCHEMA_MAJOR: u64 = 2;
 
 /// Snapshot of one histogram.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,8 +82,11 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest recorded value (0 when empty).
     pub max: u64,
-    /// `(bit_length, count)` pairs for non-empty buckets.
+    /// Legacy `(bit_length, count)` pairs for non-empty buckets.
     pub buckets: Vec<(u32, u64)>,
+    /// The full log-bucketed distribution (quantile queries, exact
+    /// merging).
+    pub sketch: Sketch,
 }
 
 impl HistogramSnapshot {
@@ -66,6 +97,11 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The estimated `q`-quantile (see [`Sketch::quantile`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.sketch.quantile(q)
     }
 }
 
@@ -98,12 +134,16 @@ impl SpanSnapshot {
 /// A consistent copy of a registry's state.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
+    /// Snapshot instant as nanoseconds since the registry epoch.
+    pub captured_ns: u64,
     /// `(name, value)` pairs, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Histogram snapshots, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
     /// Span aggregates, sorted by name.
     pub spans: Vec<SpanSnapshot>,
+    /// The call-path profile, sorted by path (see [`crate::profile`]).
+    pub profile: Vec<ProfileEntry>,
     /// Individual completed spans in completion order (bounded; see
     /// [`crate::registry::TIMELINE_CAP`]).
     pub timeline: Vec<SpanRecord>,
@@ -131,6 +171,11 @@ impl Snapshot {
         self.spans.iter().find(|s| s.name == name)
     }
 
+    /// The profile entry for the exact call path, if recorded.
+    pub fn profile_path(&self, path: &str) -> Option<&ProfileEntry> {
+        self.profile.iter().find(|p| p.path == path)
+    }
+
     /// Renders the snapshot as a JSON document (see the module docs for
     /// the schema). `run` labels the snapshot, e.g. the CLI subcommand
     /// or example name.
@@ -138,7 +183,12 @@ impl Snapshot {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"obs\": \"vapp-obs\",");
+        let _ = writeln!(out, "  \"schema_version\": \"{SCHEMA_VERSION}\",");
         let _ = writeln!(out, "  \"run\": \"{}\",", escape(run));
+        // Offset-base note: every *_ns timestamp below counts from the
+        // registry's creation instant.
+        let _ = writeln!(out, "  \"epoch_base\": \"registry-creation\",");
+        let _ = writeln!(out, "  \"captured_ns\": {},", self.captured_ns);
 
         out.push_str("  \"counters\": {");
         for (i, (name, v)) in self.counters.iter().enumerate() {
@@ -159,15 +209,28 @@ impl Snapshot {
                 .iter()
                 .map(|(b, c)| format!("[{b}, {c}]"))
                 .collect();
+            let quantiles: Vec<String> = h
+                .sketch
+                .snapshot_quantiles()
+                .iter()
+                .map(|(name, v)| format!("\"{name}\": {}", fmt_f64(*v)))
+                .collect();
+            let sketch: Vec<String> = h
+                .sketch
+                .nonzero_buckets()
+                .map(|(b, c)| format!("[{b}, {c}]"))
+                .collect();
             let _ = write!(
                 out,
-                "{sep}    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                "{sep}    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}], \"quantiles\": {{{}}}, \"sketch\": [{}]}}",
                 escape(&h.name),
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
-                buckets.join(", ")
+                buckets.join(", "),
+                quantiles.join(", "),
+                sketch.join(", ")
             );
         }
         out.push_str(if self.histograms.is_empty() {
@@ -196,17 +259,38 @@ impl Snapshot {
             "\n  },\n"
         });
 
+        out.push_str("  \"profile\": {");
+        for (i, p) in self.profile.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"self_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                escape(&p.path),
+                p.count,
+                p.total_ns,
+                p.self_ns,
+                p.min_ns,
+                p.max_ns
+            );
+        }
+        out.push_str(if self.profile.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
         out.push_str("  \"timeline\": [");
         for (i, r) in self.timeline.iter().enumerate() {
             let sep = if i == 0 { "\n" } else { ",\n" };
             let _ = write!(
                 out,
-                "{sep}    {{\"span\": \"{}\", \"fields\": \"{}\", \"depth\": {}, \"start_ns\": {}, \"dur_ns\": {}}}",
+                "{sep}    {{\"span\": \"{}\", \"fields\": \"{}\", \"depth\": {}, \"start_ns\": {}, \"dur_ns\": {}, \"tid\": {}}}",
                 escape(&r.name),
                 escape(&r.fields),
                 r.depth,
                 r.start_ns,
-                r.dur_ns
+                r.dur_ns,
+                r.tid
             );
         }
         out.push_str(if self.timeline.is_empty() {
@@ -218,6 +302,158 @@ impl Snapshot {
         let _ = writeln!(out, "  \"timeline_dropped\": {}", self.timeline_dropped);
         out.push_str("}\n");
         out
+    }
+
+    /// Parses an `OBS_*.json` document back into a snapshot, returning
+    /// `(run_label, snapshot)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-JSON input, documents that are not `vapp-obs`
+    /// snapshots, schemata whose major version differs from
+    /// [`SCHEMA_MAJOR`], and structurally torn fields (e.g. sketch
+    /// bucket counts that contradict the histogram count).
+    pub fn from_json(text: &str) -> Result<(String, Snapshot), String> {
+        let doc = Value::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+        if doc.get("obs").and_then(Value::as_str) != Some("vapp-obs") {
+            return Err("not a vapp-obs snapshot (missing `obs` marker)".into());
+        }
+        let version = doc
+            .get("schema_version")
+            .and_then(Value::as_str)
+            .ok_or("missing `schema_version` (pre-2.0 snapshot?)")?;
+        let major: u64 = version
+            .split('.')
+            .next()
+            .unwrap_or("")
+            .parse()
+            .map_err(|_| format!("unparseable schema_version `{version}`"))?;
+        if major != SCHEMA_MAJOR {
+            return Err(format!(
+                "unsupported schema_version `{version}` (this reader understands major {SCHEMA_MAJOR})"
+            ));
+        }
+        let run = doc
+            .get("run")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let need_u64 = |v: &Value, key: &str, ctx: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{ctx}: missing numeric `{key}`"))
+        };
+
+        let mut snap = Snapshot {
+            captured_ns: doc.get("captured_ns").and_then(Value::as_u64).unwrap_or(0),
+            timeline_dropped: doc
+                .get("timeline_dropped")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            ..Snapshot::default()
+        };
+
+        if let Some(counters) = doc.get("counters").and_then(Value::as_obj) {
+            for (name, v) in counters {
+                let v = v
+                    .as_u64()
+                    .ok_or_else(|| format!("counter `{name}`: not a number"))?;
+                snap.counters.push((name.clone(), v));
+            }
+        }
+
+        if let Some(histograms) = doc.get("histograms").and_then(Value::as_obj) {
+            for (name, h) in histograms {
+                let ctx = format!("histogram `{name}`");
+                let count = need_u64(h, "count", &ctx)?;
+                let sum = need_u64(h, "sum", &ctx)?;
+                let min = need_u64(h, "min", &ctx)?;
+                let max = need_u64(h, "max", &ctx)?;
+                let pairs = |key: &str| -> Result<Vec<(u64, u64)>, String> {
+                    h.get(key)
+                        .and_then(Value::as_arr)
+                        .ok_or_else(|| format!("{ctx}: missing `{key}` array"))?
+                        .iter()
+                        .map(|p| {
+                            let p = p.as_arr().filter(|p| p.len() == 2);
+                            let b = p.and_then(|p| p[0].as_u64());
+                            let c = p.and_then(|p| p[1].as_u64());
+                            b.zip(c)
+                                .ok_or_else(|| format!("{ctx}: malformed `{key}` pair"))
+                        })
+                        .collect()
+                };
+                let sketch_pairs: Vec<(usize, u64)> = pairs("sketch")?
+                    .into_iter()
+                    .map(|(b, c)| (b as usize, c))
+                    .collect();
+                let sketch = Sketch::from_parts(&sketch_pairs, count, sum, min, max)
+                    .map_err(|e| format!("{ctx}: {e}"))?;
+                snap.histograms.push(HistogramSnapshot {
+                    name: name.clone(),
+                    count,
+                    sum,
+                    min,
+                    max,
+                    buckets: pairs("buckets")?
+                        .into_iter()
+                        .map(|(b, c)| (b as u32, c))
+                        .collect(),
+                    sketch,
+                });
+            }
+        }
+
+        if let Some(spans) = doc.get("spans").and_then(Value::as_obj) {
+            for (name, s) in spans {
+                let ctx = format!("span `{name}`");
+                snap.spans.push(SpanSnapshot {
+                    name: name.clone(),
+                    count: need_u64(s, "count", &ctx)?,
+                    total_ns: need_u64(s, "total_ns", &ctx)?,
+                    min_ns: need_u64(s, "min_ns", &ctx)?,
+                    max_ns: need_u64(s, "max_ns", &ctx)?,
+                });
+            }
+        }
+
+        if let Some(profile) = doc.get("profile").and_then(Value::as_obj) {
+            for (path, p) in profile {
+                let ctx = format!("profile `{path}`");
+                snap.profile.push(ProfileEntry {
+                    path: path.clone(),
+                    count: need_u64(p, "count", &ctx)?,
+                    total_ns: need_u64(p, "total_ns", &ctx)?,
+                    self_ns: need_u64(p, "self_ns", &ctx)?,
+                    min_ns: need_u64(p, "min_ns", &ctx)?,
+                    max_ns: need_u64(p, "max_ns", &ctx)?,
+                });
+            }
+        }
+
+        if let Some(timeline) = doc.get("timeline").and_then(Value::as_arr) {
+            for (i, r) in timeline.iter().enumerate() {
+                let ctx = format!("timeline[{i}]");
+                snap.timeline.push(SpanRecord {
+                    name: r
+                        .get("span")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| format!("{ctx}: missing `span`"))?
+                        .to_string(),
+                    fields: r
+                        .get("fields")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    depth: need_u64(r, "depth", &ctx)? as u32,
+                    start_ns: need_u64(r, "start_ns", &ctx)?,
+                    dur_ns: need_u64(r, "dur_ns", &ctx)?,
+                    tid: need_u64(r, "tid", &ctx)?,
+                });
+            }
+        }
+
+        Ok((run, snap))
     }
 
     /// Renders a compact human-readable summary (the `--stats` output
@@ -253,13 +489,15 @@ impl Snapshot {
             }
         }
         if !self.histograms.is_empty() {
-            lines.push("histograms (count, mean, min..max):".to_string());
+            lines.push("histograms (count, mean, p50/p99, min..max):".to_string());
             for h in &self.histograms {
                 lines.push(format!(
-                    "  {:<32} x{:<7} mean {:>10.1}  [{} .. {}]",
+                    "  {:<32} x{:<7} mean {:>10.1}  p50 {:.1} p99 {:.1}  [{} .. {}]",
                     h.name,
                     h.count,
                     h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.99),
                     h.min,
                     h.max
                 ));
@@ -296,9 +534,13 @@ pub fn write_run_snapshot(dir: &Path, run: &str) -> std::io::Result<PathBuf> {
 
 /// Honours the `VAPP_OBS_OUT` environment contract: when the variable
 /// names a directory, writes `OBS_<run>.json` there and returns the
-/// path; a no-op (`None`) otherwise. Write failures are reported on
-/// stderr rather than propagated — observability must not fail the run.
+/// path; a no-op (`None`) otherwise. Also honours `VAPP_OBS_TRACE`
+/// ([`crate::trace::maybe_write_trace`]) so every snapshot-emitting
+/// entry point doubles as a trace-export point. Write failures are
+/// reported on stderr rather than propagated — observability must not
+/// fail the run.
 pub fn maybe_write_run_snapshot(run: &str) -> Option<PathBuf> {
+    crate::trace::maybe_write_trace(run);
     let dir = std::env::var_os("VAPP_OBS_OUT")?;
     match write_run_snapshot(Path::new(&dir), run) {
         Ok(path) => Some(path),
@@ -334,6 +576,10 @@ mod tests {
         let doc = Value::parse(&json).expect("valid JSON");
         assert_eq!(doc.get("obs").and_then(Value::as_str), Some("vapp-obs"));
         assert_eq!(
+            doc.get("schema_version").and_then(Value::as_str),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(
             doc.get("run").and_then(Value::as_str),
             Some("unit \"test\"")
         );
@@ -348,12 +594,58 @@ mod tests {
         assert_eq!(h.get("sum").and_then(Value::as_u64), Some(3));
         let buckets = h.get("buckets").and_then(Value::as_arr).unwrap();
         assert_eq!(buckets.len(), 2); // zero bucket + bit-length-2 bucket
+        assert!(h.get("quantiles").and_then(|q| q.get("p99")).is_some());
+        assert_eq!(
+            h.get("sketch").and_then(Value::as_arr).map(<[_]>::len),
+            Some(2)
+        );
         let s = doc.get("spans").and_then(|s| s.get("s.p.q")).unwrap();
         assert_eq!(s.get("count").and_then(Value::as_u64), Some(1));
+        let p = doc.get("profile").and_then(|p| p.get("s.p.q")).unwrap();
+        assert_eq!(p.get("count").and_then(Value::as_u64), Some(1));
         let tl = doc.get("timeline").and_then(Value::as_arr).unwrap();
         assert_eq!(tl.len(), 1);
         assert_eq!(tl[0].get("span").and_then(Value::as_str), Some("s.p.q"));
+        assert!(tl[0].get("tid").and_then(Value::as_u64).unwrap() >= 1);
         assert_eq!(doc.get("timeline_dropped").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_from_json() {
+        let snap = sample();
+        let (run, parsed) = Snapshot::from_json(&snap.to_json("roundtrip")).expect("parses");
+        assert_eq!(run, "roundtrip");
+        assert_eq!(parsed.captured_ns, snap.captured_ns);
+        assert_eq!(parsed.counters, snap.counters);
+        assert_eq!(parsed.histograms, snap.histograms);
+        assert_eq!(parsed.spans, snap.spans);
+        assert_eq!(parsed.profile, snap.profile);
+        assert_eq!(parsed.timeline, snap.timeline);
+        assert_eq!(parsed.timeline_dropped, snap.timeline_dropped);
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_major_versions() {
+        let json = sample().to_json("vgate");
+        let future = json.replacen(
+            "\"schema_version\": \"2.0\"",
+            "\"schema_version\": \"3.0\"",
+            1,
+        );
+        let err = Snapshot::from_json(&future).expect_err("major 3 must be rejected");
+        assert!(err.contains("3.0"), "{err}");
+        // Minor bumps within the major are fine.
+        let minor = json.replacen(
+            "\"schema_version\": \"2.0\"",
+            "\"schema_version\": \"2.9\"",
+            1,
+        );
+        assert!(Snapshot::from_json(&minor).is_ok());
+        // Pre-2.0 documents (no version field) are rejected, not guessed at.
+        let legacy = json.replacen("  \"schema_version\": \"2.0\",\n", "", 1);
+        assert!(Snapshot::from_json(&legacy).is_err());
+        assert!(Snapshot::from_json("{\"x\": 1}").is_err());
+        assert!(Snapshot::from_json("not json").is_err());
     }
 
     #[test]
@@ -370,6 +662,8 @@ mod tests {
             .and_then(Value::as_arr)
             .unwrap()
             .is_empty());
+        let (_, parsed) = Snapshot::from_json(&snap.to_json("empty")).expect("parses");
+        assert!(parsed.counters.is_empty() && parsed.profile.is_empty());
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! chrome://tracing export: renders a snapshot's timeline as a
+//! [Trace Event Format] JSON document, loadable in `chrome://tracing`
+//! or [Perfetto](https://ui.perfetto.dev).
+//!
+//! Each completed [`crate::registry::SpanRecord`] becomes one complete
+//! event (`"ph": "X"`) with microsecond `ts`/`dur` on the registry's
+//! epoch axis and the recording thread's stable id
+//! ([`crate::span::current_tid`]) as `tid`; span fields and nesting
+//! depth ride along in `args`. Metadata events (`"ph": "M"`) name the
+//! process after the run label and each thread `vapp-worker-<tid>` so
+//! the viewer's track labels are meaningful.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! Enabled either explicitly (`vapp --trace out.json`) or ambiently via
+//! the `VAPP_OBS_TRACE=<file>` environment variable, which
+//! [`maybe_write_trace`] honours from every snapshot-emitting entry
+//! point (the CLI, examples, bench bins).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::json::escape;
+use crate::snapshot::Snapshot;
+
+/// Renders the snapshot's timeline as a trace-event JSON document.
+/// `run` labels the process track.
+pub fn to_trace_json(snap: &Snapshot, run: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\": [\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+    };
+
+    let mut tids = BTreeSet::new();
+    for r in &snap.timeline {
+        tids.insert(r.tid);
+        sep(&mut out);
+        // ts/dur are microseconds (f64); sub-µs precision survives as
+        // fractional digits.
+        let _ = write!(
+            out,
+            "  {{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"span\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{\"fields\": \"{}\", \"depth\": {}}}}}",
+            escape(&r.name),
+            r.tid,
+            r.start_ns as f64 / 1e3,
+            r.dur_ns as f64 / 1e3,
+            escape(&r.fields),
+            r.depth
+        );
+    }
+
+    sep(&mut out);
+    let _ = write!(
+        out,
+        "  {{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \"args\": {{\"name\": \"vapp:{}\"}}}}",
+        escape(run)
+    );
+    for tid in tids {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "  {{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {tid}, \"args\": {{\"name\": \"vapp-worker-{tid}\"}}}}"
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes the *current* registry's timeline as trace-event JSON to
+/// `path`, returning the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable parent, full disk).
+pub fn write_trace(path: &Path, run: &str) -> std::io::Result<PathBuf> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    let snap = crate::registry::current().snapshot();
+    std::fs::write(path, to_trace_json(&snap, run))?;
+    Ok(path.to_path_buf())
+}
+
+/// Honours the `VAPP_OBS_TRACE` environment contract: when the variable
+/// names a file path, writes the current registry's trace there and
+/// returns the path; a no-op (`None`) otherwise. Write failures are
+/// reported on stderr rather than propagated — observability must not
+/// fail the run.
+pub fn maybe_write_trace(run: &str) -> Option<PathBuf> {
+    let path = std::env::var_os("VAPP_OBS_TRACE")?;
+    match write_trace(Path::new(&path), run) {
+        Ok(path) => Some(path),
+        Err(e) => {
+            eprintln!(
+                "vapp-obs: cannot write trace {}: {e}",
+                path.to_string_lossy()
+            );
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use crate::registry::{with_registry, Registry};
+    use std::sync::Arc;
+
+    fn sample() -> Snapshot {
+        let reg = Arc::new(Registry::new());
+        with_registry(reg.clone(), || {
+            let _outer = crate::span!("trace.outer.run");
+            let n = 3u32;
+            let _inner = crate::span!("trace.inner.run", n);
+        });
+        reg.snapshot()
+    }
+
+    #[test]
+    fn trace_json_has_complete_and_metadata_events() {
+        let snap = sample();
+        let doc = Value::parse(&to_trace_json(&snap, "unit")).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("traceEvents array");
+        // Two spans + process_name + one thread_name (single thread).
+        assert_eq!(events.len(), 4);
+        let complete: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        for e in &complete {
+            assert!(e.get("name").and_then(Value::as_str).is_some());
+            assert!(e.get("ts").and_then(Value::as_f64).is_some());
+            assert!(e.get("dur").and_then(Value::as_f64).is_some());
+            assert_eq!(e.get("pid").and_then(Value::as_u64), Some(1));
+            assert!(e.get("tid").and_then(Value::as_u64).unwrap() >= 1);
+        }
+        // The inner span carries its field and depth in args.
+        let inner = complete
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("trace.inner.run"))
+            .expect("inner event");
+        let args = inner.get("args").expect("args");
+        assert_eq!(args.get("fields").and_then(Value::as_str), Some("n=3"));
+        assert_eq!(args.get("depth").and_then(Value::as_u64), Some(2));
+        // Metadata names the process after the run label.
+        let meta: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .collect();
+        assert!(meta.iter().any(|e| {
+            e.get("name").and_then(Value::as_str) == Some("process_name")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    == Some("vapp:unit")
+        }));
+        assert!(meta
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("thread_name")));
+    }
+
+    #[test]
+    fn empty_timeline_still_renders_valid_trace() {
+        let doc = Value::parse(&to_trace_json(&Snapshot::default(), "empty")).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        assert_eq!(events.len(), 1); // process_name only
+    }
+
+    #[test]
+    fn write_trace_creates_parent_and_file() {
+        let dir = std::env::temp_dir().join("vapp-obs-trace-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("trace.json");
+        let reg = Arc::new(Registry::new());
+        let written = with_registry(reg, || {
+            {
+                let _s = crate::span!("trace.file.write");
+            }
+            write_trace(&path, "filetest").expect("writable temp dir")
+        });
+        assert_eq!(written, path);
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        assert!(Value::parse(&text).is_ok());
+        assert!(text.contains("trace.file.write"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

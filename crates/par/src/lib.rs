@@ -29,8 +29,21 @@
 //! ([`vapp_obs::registry::with_registry`]) before running any unit, so
 //! counters and spans recorded inside a parallel region land in the same
 //! registry the caller sees — `vapp-check` cases and test-local
-//! registries keep working. Counter totals are thread-count-invariant
-//! (atomics commute); only span timeline *order* may vary.
+//! registries keep working. Workers also install the caller's open-span
+//! path as a prefix ([`vapp_obs::span::with_path_prefix`]), so spans
+//! opened inside a unit fold into the spawning span's subtree and the
+//! call-path profile is identical at any thread count. Counter totals
+//! are thread-count-invariant (atomics commute); only span timeline
+//! *order* may vary.
+//!
+//! When a region actually fans out, each worker additionally records
+//! utilization counters — `par.worker.<w>.tasks` (units claimed),
+//! `par.worker.<w>.busy_ns` (time inside units) and
+//! `par.worker.<w>.idle_ns` (region wall minus busy) — consumed by
+//! `obs_report` and `scaling_check --obs`. These are wall-clock-derived
+//! and scheduling-dependent, so snapshot diffing treats the `par.`
+//! namespace as unstable; none are recorded on the inline (1-worker)
+//! path.
 //!
 //! # Nesting
 //!
@@ -138,6 +151,9 @@ where
     }
 
     let reg = vapp_obs::current();
+    // Captured on the caller so worker-side spans fold into the spawning
+    // span's subtree (profile paths thread-count invariant).
+    let prefix = vapp_obs::span::current_path_parts();
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
@@ -145,8 +161,9 @@ where
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
     std::thread::scope(|s| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let reg = reg.clone();
+            let prefix = &prefix;
             let slots = &slots;
             let results = &results;
             let cursor = &cursor;
@@ -155,32 +172,48 @@ where
             let f = &f;
             s.spawn(move || {
                 vapp_obs::registry::with_registry(reg, || {
-                    IN_WORKER.with(|c| c.set(true));
-                    loop {
-                        if poisoned.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= slots.len() {
-                            break;
-                        }
-                        let item = slots[i]
-                            .lock()
-                            .expect("item slot lock")
-                            .take()
-                            .expect("each item is claimed exactly once");
-                        match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
-                            Ok(r) => *results[i].lock().expect("result slot lock") = Some(r),
-                            Err(p) => {
-                                poisoned.store(true, Ordering::Relaxed);
-                                let mut first = panic_payload.lock().expect("panic slot lock");
-                                if first.is_none() {
-                                    *first = Some(p);
-                                }
+                    vapp_obs::span::with_path_prefix(prefix, || {
+                        IN_WORKER.with(|c| c.set(true));
+                        let region_start = std::time::Instant::now();
+                        let mut tasks: u64 = 0;
+                        let mut busy_ns: u64 = 0;
+                        loop {
+                            if poisoned.load(Ordering::Relaxed) {
                                 break;
                             }
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= slots.len() {
+                                break;
+                            }
+                            let item = slots[i]
+                                .lock()
+                                .expect("item slot lock")
+                                .take()
+                                .expect("each item is claimed exactly once");
+                            tasks += 1;
+                            let unit_start = std::time::Instant::now();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                            busy_ns =
+                                busy_ns.saturating_add(unit_start.elapsed().as_nanos() as u64);
+                            match outcome {
+                                Ok(r) => *results[i].lock().expect("result slot lock") = Some(r),
+                                Err(p) => {
+                                    poisoned.store(true, Ordering::Relaxed);
+                                    let mut first = panic_payload.lock().expect("panic slot lock");
+                                    if first.is_none() {
+                                        *first = Some(p);
+                                    }
+                                    break;
+                                }
+                            }
                         }
-                    }
+                        let wall_ns = region_start.elapsed().as_nanos() as u64;
+                        let r = vapp_obs::current();
+                        r.counter(&format!("par.worker.{w}.tasks")).add(tasks);
+                        r.counter(&format!("par.worker.{w}.busy_ns")).add(busy_ns);
+                        r.counter(&format!("par.worker.{w}.idle_ns"))
+                            .add(wall_ns.saturating_sub(busy_ns));
+                    });
                 });
             });
         }
@@ -288,6 +321,73 @@ mod tests {
         // The parallel region recorded into the scoped registry, not the
         // global one.
         assert_eq!(vapp_obs::global().counter("par.test.units").get(), 0);
+    }
+
+    #[test]
+    fn worker_spans_fold_into_the_callers_subtree() {
+        let reg = Arc::new(vapp_obs::Registry::new());
+        vapp_obs::registry::with_registry(reg.clone(), || {
+            let _outer = vapp_obs::span!("par.test.region");
+            with_threads(4, || {
+                par_map((0..12).collect::<Vec<u32>>(), |_, _| {
+                    let _s = vapp_obs::span!("par.test.unit");
+                })
+            });
+        });
+        let snap = reg.snapshot();
+        let unit = snap
+            .profile
+            .iter()
+            .find(|p| p.path == "par.test.region>par.test.unit")
+            .expect("worker span nests under the caller's open span");
+        assert_eq!(unit.count, 12);
+        // No stray root-level `par.test.unit` path from worker threads.
+        assert!(!snap.profile.iter().any(|p| p.path == "par.test.unit"));
+    }
+
+    #[test]
+    fn fanned_out_regions_record_worker_utilization() {
+        let reg = Arc::new(vapp_obs::Registry::new());
+        vapp_obs::registry::with_registry(reg.clone(), || {
+            with_threads(4, || {
+                par_map((0..32).collect::<Vec<u32>>(), |_, _| {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                })
+            });
+        });
+        let snap = reg.snapshot();
+        let tasks: u64 = (0..4)
+            .map(|w| snap.counter(&format!("par.worker.{w}.tasks")))
+            .sum();
+        assert_eq!(tasks, 32, "every unit claimed exactly once");
+        let busy: u64 = (0..4)
+            .map(|w| snap.counter(&format!("par.worker.{w}.busy_ns")))
+            .sum();
+        // 32 units × ≥200 µs of sleep is a hard lower bound on busy time.
+        assert!(busy >= 32 * 200_000, "busy {busy} ns too small");
+        for w in 0..4 {
+            assert!(snap
+                .counters
+                .iter()
+                .any(|(n, _)| *n == format!("par.worker.{w}.idle_ns")));
+        }
+    }
+
+    #[test]
+    fn inline_regions_record_no_worker_counters() {
+        let reg = Arc::new(vapp_obs::Registry::new());
+        vapp_obs::registry::with_registry(reg.clone(), || {
+            with_threads(1, || par_map((0..8).collect::<Vec<u32>>(), |_, x| x * 2));
+        });
+        let snap = reg.snapshot();
+        assert!(
+            !snap
+                .counters
+                .iter()
+                .any(|(n, _)| n.starts_with("par.worker.")),
+            "inline path must stay utilization-free: {:?}",
+            snap.counters
+        );
     }
 
     #[test]

@@ -302,6 +302,7 @@ impl Bch {
         let tb = batch_tables(self.t());
         let parity = self.parity_bits();
         let lanes = batch.lanes;
+        let _span = vapp_obs::span!("storage.batch.decode", lanes);
         let active: u64 = if lanes == LANES {
             !0
         } else {
@@ -314,6 +315,9 @@ impl Bch {
         let data: &[u64; DATA_BITS] = batch.planes[..DATA_BITS].try_into().expect("plane layout");
         let par = parity_planes(data, tb, parity);
         let dirty = plane_ops::or_diff(&par, &batch.planes[DATA_BITS..]) & active;
+        // Per-batch dirty-lane distribution: deterministic at a fixed
+        // seed, so it doubles as a drift-gate signal for obs_report.
+        vapp_obs::histogram!("storage.batch.dirty_lanes", u64::from(dirty.count_ones()));
         if dirty == 0 {
             vapp_obs::counter!("storage.bch.clean", lanes as u64);
             return vec![DecodeOutcome::Clean; lanes];

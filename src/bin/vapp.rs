@@ -46,6 +46,13 @@ fn main() -> ExitCode {
         }
     }
     // Observability flags are global: valid on every subcommand.
+    let trace_path = match take_flag_value(&mut args, "--trace") {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut stats = None;
     args.retain(|a| match a.as_str() {
         "--stats" => {
@@ -80,6 +87,12 @@ fn main() -> ExitCode {
         Some(StatsMode::Json) => println!("{}", vapp_obs::current().snapshot().to_json(&command)),
         None => {}
     }
+    if let Some(path) = &trace_path {
+        match vapp_obs::write_trace(std::path::Path::new(path), &command) {
+            Ok(p) => eprintln!("vapp: wrote trace {}", p.display()),
+            Err(e) => eprintln!("error: cannot write trace {path}: {e}"),
+        }
+    }
     vapp_obs::maybe_write_run_snapshot(&command);
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -111,8 +124,14 @@ parallelism (any subcommand; outputs are identical at any worker count):
 observability (any subcommand):
   --stats        print the metrics/span summary to stderr after the run
   --stats=json   print the full observability snapshot as JSON to stdout
+  --trace PATH   write a chrome://tracing trace-event JSON after the run
   VAPP_OBS=error|warn|info|debug|trace   enable the stderr event sink
   VAPP_OBS_OUT=DIR                       write OBS_<command>.json there
+  VAPP_OBS_TRACE=PATH                    same as --trace, via the environment
+
+profiling: render or drift-gate OBS snapshots with `obs_report` (see
+  README \"Profiling\"); `obs_report A.json B.json` exits nonzero on
+  counter/profile drift between two same-seed runs.
 
 scene kinds: blocks fast pan local noise cuts breathing";
 

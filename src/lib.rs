@@ -8,6 +8,7 @@ pub use vapp_codec as codec;
 pub use vapp_crypto as crypto;
 pub use vapp_media as media;
 pub use vapp_metrics as metrics;
+pub use vapp_obs as obs;
 pub use vapp_sim as sim;
 pub use vapp_storage as storage;
 pub use vapp_workloads as workloads;

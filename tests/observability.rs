@@ -184,6 +184,10 @@ fn snapshot_json_parses_and_carries_the_counters() {
     let json = snap.to_json("test_run");
     let v = Value::parse(&json).expect("snapshot JSON must parse");
     assert_eq!(v.get("run").and_then(Value::as_str), Some("test_run"));
+    assert_eq!(
+        v.get("schema_version").and_then(Value::as_str),
+        Some(vapp_obs::SCHEMA_VERSION)
+    );
     let counters = v
         .get("counters")
         .and_then(Value::as_obj)
@@ -196,6 +200,34 @@ fn snapshot_json_parses_and_carries_the_counters() {
     );
     let spans = v.get("spans").and_then(Value::as_obj).expect("spans");
     assert!(spans.contains_key("core.store.load"));
+    // Every histogram carries the full quantile block. (The analytic
+    // policy may record none — the exact-BCH runs in tests/profiling.rs
+    // pin histogram presence.)
+    let histograms = v
+        .get("histograms")
+        .and_then(Value::as_obj)
+        .expect("histograms object");
+    for (name, h) in histograms {
+        let q = h.get("quantiles").expect("quantiles present");
+        for p in ["p50", "p90", "p95", "p99", "p999"] {
+            assert!(q.get(p).and_then(Value::as_f64).is_some(), "{name}: {p}");
+        }
+    }
+    // The profile section mirrors the call tree: the load span is a
+    // root path and the per-level corruption nests under it.
+    let profile = v
+        .get("profile")
+        .and_then(Value::as_obj)
+        .expect("profile object");
+    assert!(profile.contains_key("core.store.load"));
+    assert!(profile
+        .keys()
+        .any(|p| p.starts_with("core.store.load>") && p.ends_with("core.level.corrupt")));
+    // And the whole document round-trips through the typed parser.
+    let (run, parsed) = vapp_obs::Snapshot::from_json(&json).expect("from_json");
+    assert_eq!(run, "test_run");
+    assert_eq!(parsed.counters, snap.counters);
+    assert_eq!(parsed.profile, snap.profile);
 }
 
 #[test]
