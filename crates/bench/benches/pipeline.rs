@@ -9,7 +9,8 @@ use vapp_rand::rngs::StdRng;
 use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
 use videoapp::{
-    split_streams, ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy,
+    mlc_pcm, split_streams, ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable,
+    StoragePolicy,
 };
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -35,7 +36,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let policy = StoragePolicy {
         ladder_levels: vec![EcScheme::None, EcScheme::Bch(6), EcScheme::Bch(10)],
         thresholds: vec![4.0, 64.0],
-        raw_ber: 1e-3,
+        substrate: mlc_pcm(1e-3),
         exact_bch: false,
     };
     group.bench_function("store_load_analytic", |b| {

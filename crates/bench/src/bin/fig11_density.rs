@@ -43,7 +43,7 @@ fn main() {
             QUALITY_BUDGET_DB,
             1e-3,
         );
-        let policy = StoragePolicy::from_assignment(&assignment, 1e-3);
+        let policy = StoragePolicy::from_assignment_mlc(&assignment, 1e-3);
 
         let mut sums = [0.0f64; 6]; // cpp/psnr for uniform, variable, ideal
         let mut worst_delta = 0.0f64;

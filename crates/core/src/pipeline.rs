@@ -1,61 +1,98 @@
-//! The end-to-end approximate video store: split → protect → store on the
-//! MLC substrate → corrupt → correct → merge → decode → measure.
+//! The end-to-end approximate video store: split → protect → store on an
+//! error substrate → corrupt → correct → merge → decode → measure.
 //!
-//! Storage simulation runs per protection stream in 512-bit blocks. Two
-//! block simulators are available: `exact` drives the real BCH
-//! encoder/decoder bit by bit (used in tests and small runs), while the
-//! default analytic simulator draws block failures from the binomial-tail
-//! failure rate — statistically equivalent and orders of magnitude
-//! faster, which matters at 30 Monte Carlo trials per data point (§6.4).
+//! The error channel is pluggable: a [`StoragePolicy`] carries an
+//! `Arc<dyn Substrate>` (see [`vapp_storage::channel`]) and `store_load`
+//! hands each protection stream to it with the level's ladder strength
+//! `t` and a derived sub-seed. The paper's MLC PCM channel
+//! (`mlc_pcm(1e-3)`) reproduces the pre-trait behaviour bit for bit; the
+//! burst-erasure and data-in-video substrates rerun the same pipeline
+//! under bursty and content-dependent damage.
+//!
+//! On the i.i.d. channels, storage simulation runs per protection stream
+//! in 512-bit blocks with two simulators: `exact` drives the real BCH
+//! encoder/decoder (used in tests and small runs), while the analytic
+//! simulator draws block failures from the binomial-tail failure rate —
+//! statistically equivalent and orders of magnitude faster, which
+//! matters at 30 Monte Carlo trials per data point (§6.4).
 
 use crate::assignment::{Assignment, EcScheme};
 use crate::pivots::PivotTable;
 use crate::streams::{merge_streams, split_streams};
 use std::ops::Range;
+use std::sync::Arc;
 use vapp_codec::{bitstream, decode, EncodedVideo};
 use vapp_media::Video;
 use vapp_metrics::{prob_any_flip, video_psnr};
 use vapp_rand::rngs::StdRng;
-use vapp_rand::{RngExt, SeedableRng};
-use vapp_sim::{derive_subseeds, pick_k_positions, pick_positions, pick_positions_forced};
-use vapp_storage::batch::{self, BlockBatch};
-use vapp_storage::bch::{Bch, DecodeOutcome, DATA_BITS};
+use vapp_rand::RngExt;
+use vapp_sim::{derive_subseeds, pick_positions_forced};
+use vapp_storage::channel::{mlc_pcm, CorruptTally, Substrate};
 use vapp_storage::density;
 
-/// How and where the payload is stored.
-#[derive(Clone, Debug, PartialEq)]
+/// How and where the payload is stored: the protection ladder plus the
+/// error [`Substrate`] underneath it.
+#[derive(Clone, Debug)]
 pub struct StoragePolicy {
-    /// Scheme per pivot level (weakest first).
+    /// Scheme per pivot level (weakest first). Each substrate realizes
+    /// a scheme's strength `t` with its own code (BCH for i.i.d. MLC,
+    /// interleaved Reed–Solomon for bursty channels).
     pub ladder_levels: Vec<EcScheme>,
     /// Importance thresholds between levels (for pivot construction).
     pub thresholds: Vec<f64>,
-    /// Raw bit error rate of the substrate (the paper's 1e-3).
-    pub raw_ber: f64,
-    /// Use the exact BCH machinery instead of the analytic block model.
+    /// The error channel the streams are stored on.
+    pub substrate: Arc<dyn Substrate>,
+    /// Use the exact block machinery instead of an analytic model where
+    /// the substrate offers both (the MLC/SLC i.i.d. channels do).
     pub exact_bch: bool,
+}
+
+impl PartialEq for StoragePolicy {
+    fn eq(&self, other: &Self) -> bool {
+        // Substrates compare by identity surface: trait objects carry no
+        // structural equality, and (name, raw BER, density) pins every
+        // substrate the workspace constructs.
+        self.ladder_levels == other.ladder_levels
+            && self.thresholds == other.thresholds
+            && self.exact_bch == other.exact_bch
+            && self.substrate.name() == other.substrate.name()
+            && self.substrate.raw_ber() == other.substrate.raw_ber()
+            && self.substrate.bits_per_cell() == other.substrate.bits_per_cell()
+    }
 }
 
 impl StoragePolicy {
     /// Builds the policy implied by a §7.2 assignment.
-    pub fn from_assignment(a: &Assignment, raw_ber: f64) -> Self {
+    pub fn from_assignment(a: &Assignment, substrate: Arc<dyn Substrate>) -> Self {
         let (thresholds, ladder_levels) = a.thresholds();
         StoragePolicy {
             ladder_levels,
             thresholds,
-            raw_ber,
+            substrate,
             exact_bch: true,
         }
     }
 
+    /// The paper's configuration: a §7.2 assignment on MLC PCM at
+    /// `raw_ber` (1e-3 at the 3-month scrub interval).
+    pub fn from_assignment_mlc(a: &Assignment, raw_ber: f64) -> Self {
+        StoragePolicy::from_assignment(a, mlc_pcm(raw_ber))
+    }
+
     /// Uniform protection: every payload bit gets `scheme` (the paper's
     /// baseline design in Fig. 11).
-    pub fn uniform(scheme: EcScheme, raw_ber: f64) -> Self {
+    pub fn uniform(scheme: EcScheme, substrate: Arc<dyn Substrate>) -> Self {
         StoragePolicy {
             ladder_levels: vec![scheme],
             thresholds: Vec::new(),
-            raw_ber,
+            substrate,
             exact_bch: true,
         }
+    }
+
+    /// Uniform protection on MLC PCM at `raw_ber`.
+    pub fn uniform_mlc(scheme: EcScheme, raw_ber: f64) -> Self {
+        StoragePolicy::uniform(scheme, mlc_pcm(raw_ber))
     }
 
     /// Scheme for a pivot level index.
@@ -102,10 +139,6 @@ impl ApproxStore {
     /// Panics if the policy has no levels or an invalid error rate.
     pub fn new(policy: StoragePolicy) -> Self {
         assert!(!policy.ladder_levels.is_empty(), "policy needs levels");
-        assert!(
-            (0.0..=1.0).contains(&policy.raw_ber),
-            "raw BER must be a probability"
-        );
         let level_names = (0..policy.ladder_levels.len())
             .map(LevelCounterNames::new)
             .collect();
@@ -129,24 +162,27 @@ impl ApproxStore {
         table: &PivotTable,
         rng: &mut StdRng,
     ) -> EncodedVideo {
-        let raw_ber = self.policy.raw_ber;
+        let substrate = &self.policy.substrate;
+        let raw_ber = substrate.raw_ber();
         let exact_bch = self.policy.exact_bch;
         let _span = vapp_obs::span!("core.store.load", raw_ber, exact_bch);
         let mut streams = split_streams(stream, table);
         // One sub-seed per protection level, derived up front from a
         // single master draw: each level's corruption is a pure function
         // of `(master, level)`, so the levels can run on any number of
-        // workers — and in any order — with byte-identical results.
+        // workers — and in any order — with byte-identical results. The
+        // substrate contract (see `vapp_storage::channel`) extends the
+        // same rule inside each level.
         let master = rng.random::<u64>();
         let level_seeds = derive_subseeds(master, streams.level_data.len());
         let level_bits = streams.level_bits.clone();
-        let stats: Vec<CorruptStats> = vapp_par::par_map(
+        let stats: Vec<CorruptTally> = vapp_par::par_map(
             streams.level_data.iter_mut().enumerate().collect(),
             |_, (level, data)| {
                 let scheme = self.policy.scheme_for_level(level);
                 let bits = level_bits[level];
                 let _lvl_span = vapp_obs::span!("core.level.corrupt", level, scheme, bits);
-                corrupt_stream_bits(data, bits, scheme, raw_ber, exact_bch, level_seeds[level])
+                substrate.corrupt_stream(data, bits, scheme.t(), exact_bch, level_seeds[level])
             },
         );
         let reg = vapp_obs::current();
@@ -168,8 +204,14 @@ impl ApproxStore {
         merge_streams(stream, table, &streams)
     }
 
-    /// Storage accounting for Fig. 11 and the headline numbers.
+    /// Storage accounting for Fig. 11 and the headline numbers, on this
+    /// policy's substrate: its density (`bits_per_cell`) and its per-`t`
+    /// realization overhead (BCH parity for MLC, RS parity for bursty
+    /// channels) replace the old hardwired 3-bit/cell BCH math. The SLC
+    /// baseline stays 1 bit/cell with no correction by definition.
     pub fn report(&self, stream: &EncodedVideo, table: &PivotTable, pixels: u64) -> PipelineReport {
+        let substrate = &self.policy.substrate;
+        let bpc = substrate.bits_per_cell();
         let level_bits = table.level_bits();
         let level_schemes: Vec<EcScheme> = (0..level_bits.len())
             .map(|l| self.policy.scheme_for_level(l))
@@ -177,21 +219,29 @@ impl ApproxStore {
         let payload_bits: u64 = level_bits.iter().sum();
         let header_bits = stream.header_bits();
         let pivot_bits = table.bookkeeping_bits();
-        let precise_overhead = EcScheme::PRECISE.overhead();
+        let precise_overhead = substrate.overhead(EcScheme::PRECISE.t());
 
         let payload_cells: f64 = level_bits
             .iter()
             .zip(&level_schemes)
-            .map(|(&b, s)| density::cells_for(b, s.overhead(), 3))
+            .map(|(&b, s)| density::cells_for(b, substrate.overhead(s.t()), bpc))
             .sum();
-        let meta_cells = density::cells_for(header_bits + pivot_bits, precise_overhead, 3);
+        let meta_cells = density::cells_for(header_bits + pivot_bits, precise_overhead, bpc);
         let total_cells_mlc = payload_cells + meta_cells;
 
+        // The SLC baseline goes through the same trait surface as every
+        // other substrate (1 bit/cell, overhead-free) rather than
+        // hardcoded constants.
+        let slc_baseline = vapp_storage::SlcSubstrate;
         let all_bits = payload_bits + header_bits;
-        let cells_slc = density::cells_for(all_bits, 0.0, 1);
-        let cells_ideal = density::cells_for(all_bits, 0.0, 3);
-        let cells_uniform = density::cells_for(payload_bits, precise_overhead, 3)
-            + density::cells_for(header_bits, precise_overhead, 3);
+        let cells_slc = density::cells_for(
+            all_bits,
+            Substrate::overhead(&slc_baseline, 0),
+            Substrate::bits_per_cell(&slc_baseline),
+        );
+        let cells_ideal = density::cells_for(all_bits, 0.0, bpc);
+        let cells_uniform = density::cells_for(payload_bits, precise_overhead, bpc)
+            + density::cells_for(header_bits, precise_overhead, bpc);
 
         let avg_payload_overhead = if payload_bits == 0 {
             0.0
@@ -199,7 +249,7 @@ impl ApproxStore {
             level_bits
                 .iter()
                 .zip(&level_schemes)
-                .map(|(&b, s)| s.overhead() * b as f64)
+                .map(|(&b, s)| substrate.overhead(s.t()) * b as f64)
                 .sum::<f64>()
                 / payload_bits as f64
         };
@@ -212,175 +262,13 @@ impl ApproxStore {
             level_bits,
             level_schemes,
             avg_payload_overhead,
+            precise_overhead,
             total_cells_mlc,
             cells_slc,
             cells_ideal,
             cells_uniform,
         }
     }
-}
-
-/// Per-stream corruption tally produced by [`corrupt_stream_bits`] and
-/// folded into the per-level observability counters by `store_load`.
-#[derive(Clone, Copy, Debug, Default)]
-struct CorruptStats {
-    /// Raw bit flips injected into the substrate (codeword space for BCH).
-    flips: u64,
-    /// 512-bit blocks decoded clean.
-    clean: u64,
-    /// Blocks with errors fully corrected.
-    corrected: u64,
-    /// Blocks past the code's correction radius.
-    uncorrectable: u64,
-}
-
-/// Corrupts one protection stream in place (MSB-first bit order, matching
-/// the codec payloads) and returns the corruption tally. The stream's
-/// whole corruption derives from `seed`: the unprotected and analytic
-/// paths run one private `StdRng` off it, and the exact-BCH path expands
-/// it into one sub-seed per 512-bit block so blocks corrupt in parallel
-/// with thread-count-invariant results.
-fn corrupt_stream_bits(
-    data: &mut [u8],
-    bits: u64,
-    scheme: EcScheme,
-    raw_ber: f64,
-    exact: bool,
-    seed: u64,
-) -> CorruptStats {
-    let mut stats = CorruptStats::default();
-    if bits == 0 || raw_ber == 0.0 {
-        return stats;
-    }
-    match scheme {
-        EcScheme::None => {
-            let mut rng = StdRng::seed_from_u64(seed);
-            for pos in pick_positions(&[0..bits], raw_ber, &mut rng) {
-                bitstream::flip_bit(data, pos);
-                stats.flips += 1;
-            }
-        }
-        EcScheme::Bch(t) if !exact => {
-            // Analytic block model: each 512-bit block fails independently
-            // with the binomial-tail probability; a failed block keeps
-            // t + 1 raw errors (the dominant tail term).
-            let code = Bch::cached(t as usize);
-            // One hash lookup after the first call: the binomial tails
-            // behind these rates cost ~100 µs of `ln_gamma` sums, which
-            // used to dominate analytic-mode `store_load`.
-            let (q, p_corr) = vapp_storage::uber::cached_block_rates(code, raw_ber);
-            let blocks = bits.div_ceil(DATA_BITS as u64);
-            let mut rng = StdRng::seed_from_u64(seed);
-            for b in 0..blocks {
-                if !rng.random_bool(q) {
-                    continue;
-                }
-                stats.uncorrectable += 1;
-                let start = b * DATA_BITS as u64;
-                let end = ((b + 1) * DATA_BITS as u64).min(bits);
-                for pos in pick_k_positions(&[start..end], t as u64 + 1, &mut rng) {
-                    bitstream::flip_bit(data, pos);
-                    stats.flips += 1;
-                }
-            }
-            // Corrected-block tally for this mode is the binomial
-            // expectation, computed deterministically — no extra draws.
-            stats.corrected =
-                ((blocks as f64 * p_corr).round() as u64).min(blocks - stats.uncorrectable);
-            stats.clean = blocks - stats.uncorrectable - stats.corrected;
-            let reg = vapp_obs::current();
-            reg.counter("storage.bch.blocks").add(blocks);
-            reg.counter("storage.bch.clean").add(stats.clean);
-            reg.counter("storage.bch.corrected").add(stats.corrected);
-            reg.counter("storage.bch.uncorrectable")
-                .add(stats.uncorrectable);
-        }
-        EcScheme::Bch(t) => {
-            // Exact model, bitsliced: sub-seeds stay per 512-bit block, but
-            // blocks decode in 64-lane batches on the `vapp-storage` batch
-            // engine, fed the bare injected *error patterns*. That is
-            // outcome-equivalent to encode+flip+decode of the real content:
-            // syndromes are linear and vanish on codewords, so
-            // syndromes(cw + e) = syndromes(e), decode outcomes depend only
-            // on syndromes, and the stream bytes change only on
-            // Uncorrectable — where the decoder applies no corrections and
-            // the damage delivered is exactly the injected flips that land
-            // inside the block's live data bits (property-pinned in
-            // `crates/storage/tests/batch_equivalence.rs`).
-            let code = Bch::cached(t as usize);
-            let blocks = bits.div_ceil(DATA_BITS as u64) as usize;
-            vapp_obs::counter!("storage.bch.blocks", blocks as u64);
-            let block_seeds = derive_subseeds(seed, blocks);
-            let used = (bits.div_ceil(8) as usize).min(data.len());
-            let group_bytes = (DATA_BITS / 8) * batch::LANES;
-            let per_group = vapp_par::par_chunks(&mut data[..used], group_bytes, |g, chunk| {
-                let base = g * batch::LANES;
-                let group_blocks = (blocks - base).min(batch::LANES);
-                let mut st = CorruptStats::default();
-                // Flip positions depend only on each block's sub-seed,
-                // never its contents, so they draw first: blocks with no
-                // flips (the common case at realistic BERs) round-trip
-                // clean without touching the code at all.
-                let mut dirty: Vec<(usize, Vec<u64>)> = Vec::new();
-                for lb in 0..group_blocks {
-                    let mut rng = StdRng::seed_from_u64(block_seeds[base + lb]);
-                    let flips =
-                        pick_positions(&[0..code.codeword_bits() as u64], raw_ber, &mut rng);
-                    if flips.is_empty() {
-                        st.clean += 1;
-                    } else {
-                        st.flips += flips.len() as u64;
-                        dirty.push((lb, flips));
-                    }
-                }
-                if st.clean > 0 {
-                    vapp_obs::counter!("storage.bch.clean", st.clean);
-                }
-                if dirty.is_empty() {
-                    return st;
-                }
-                // One batch lane per dirty block, holding just its error
-                // pattern; the batch decoder tallies the `storage.bch.*`
-                // outcome counters itself.
-                let mut errs = BlockBatch::zeroed(code, dirty.len());
-                for (lane, (_, flips)) in dirty.iter().enumerate() {
-                    for &f in flips {
-                        errs.flip(lane, f as usize);
-                    }
-                }
-                let outcomes = code.decode_batch(&mut errs);
-                for ((lb, flips), outcome) in dirty.iter().zip(&outcomes) {
-                    match outcome {
-                        DecodeOutcome::Clean => st.clean += 1,
-                        DecodeOutcome::Corrected(_) => st.corrected += 1,
-                        DecodeOutcome::Uncorrectable => {
-                            st.uncorrectable += 1;
-                            // Deliver the damage as read: injected flips in
-                            // the block's live data bits (MSB-first stream
-                            // byte order); parity-region and padding flips
-                            // are never part of the stored payload.
-                            let start = (base + lb) as u64 * DATA_BITS as u64;
-                            let nbits = (start + DATA_BITS as u64).min(bits) - start;
-                            let block = &mut chunk[lb * (DATA_BITS / 8)..];
-                            for &f in flips {
-                                if f < nbits {
-                                    block[(f / 8) as usize] ^= 0x80u8 >> (f % 8);
-                                }
-                            }
-                        }
-                    }
-                }
-                st
-            });
-            for st in per_group {
-                stats.flips += st.flips;
-                stats.clean += st.clean;
-                stats.corrected += st.corrected;
-                stats.uncorrectable += st.uncorrectable;
-            }
-        }
-    }
-    stats
 }
 
 /// Density/overhead accounting for one stored video (Fig. 11 inputs).
@@ -400,6 +288,9 @@ pub struct PipelineReport {
     pub level_schemes: Vec<EcScheme>,
     /// Bit-weighted average payload ECC overhead.
     pub avg_payload_overhead: f64,
+    /// Overhead of the substrate's precise (strength-16) realization —
+    /// the uniform-protection baseline the reduction is measured against.
+    pub precise_overhead: f64,
     /// Cells used by this (variable-correction) design.
     pub total_cells_mlc: f64,
     /// Cells used by the SLC baseline (1 bit/cell, no ECC).
@@ -426,9 +317,10 @@ impl PipelineReport {
         1.0 - self.total_cells_mlc / self.cells_uniform
     }
 
-    /// Fraction of the error-correction overhead eliminated (paper: 47%).
+    /// Fraction of the error-correction overhead eliminated (paper: 47%)
+    /// relative to uniform precise protection *on the same substrate*.
     pub fn ec_overhead_reduction(&self) -> f64 {
-        density::overhead_reduction(EcScheme::PRECISE.overhead(), self.avg_payload_overhead)
+        density::overhead_reduction(self.precise_overhead, self.avg_payload_overhead)
     }
 
     /// Serializes the report as a JSON object (the `vapp --report-json`
@@ -464,6 +356,7 @@ impl PipelineReport {
         );
         for (key, v) in [
             ("avg_payload_overhead", self.avg_payload_overhead),
+            ("precise_overhead", self.precise_overhead),
             ("total_cells_mlc", self.total_cells_mlc),
             ("cells_slc", self.cells_slc),
             ("cells_ideal", self.cells_ideal),
@@ -577,7 +470,7 @@ mod tests {
         let policy = StoragePolicy {
             ladder_levels: vec![EcScheme::Bch(16); 3],
             thresholds: vec![8.0, 64.0],
-            raw_ber: 1e-3,
+            substrate: mlc_pcm(1e-3),
             exact_bch: false,
         };
         let store = ApproxStore::new(policy);
@@ -591,7 +484,7 @@ mod tests {
     #[test]
     fn unprotected_policy_corrupts_and_still_decodes() {
         let (stream, recon, table) = setup();
-        let store = ApproxStore::new(StoragePolicy::uniform(EcScheme::None, 1e-2));
+        let store = ApproxStore::new(StoragePolicy::uniform_mlc(EcScheme::None, 1e-2));
         let mut rng = StdRng::seed_from_u64(4);
         let loaded = store.store_load(&stream, &table, &mut rng);
         assert_ne!(loaded, stream, "1e-2 over thousands of bits must flip");
@@ -607,7 +500,7 @@ mod tests {
         // corrupt; at raw 0 both are clean.
         for &(raw, expect_dirty) in &[(0.0f64, false), (0.08, true)] {
             for exact in [false, true] {
-                let mut policy = StoragePolicy::uniform(EcScheme::Bch(6), raw);
+                let mut policy = StoragePolicy::uniform_mlc(EcScheme::Bch(6), raw);
                 policy.exact_bch = exact;
                 let store = ApproxStore::new(policy);
                 let mut rng = StdRng::seed_from_u64(5);
@@ -623,7 +516,7 @@ mod tests {
         let policy = StoragePolicy {
             ladder_levels: vec![EcScheme::None, EcScheme::Bch(6), EcScheme::Bch(10)],
             thresholds: vec![8.0, 64.0],
-            raw_ber: 1e-3,
+            substrate: mlc_pcm(1e-3),
             exact_bch: false,
         };
         let store = ApproxStore::new(policy);

@@ -31,7 +31,7 @@
 //!   `OBS_<run>.json` by [`write_run_snapshot`] — same shape discipline
 //!   as the bench harness's `BENCH_*.json`; schema documented in
 //!   [`snapshot`]), and a chrome://tracing trace-event export
-//!   ([`trace`], written by [`write_trace`]).
+//!   ([`mod@trace`], written by [`write_trace`]).
 //!
 //! ## Naming convention
 //!

@@ -1,0 +1,140 @@
+//! Block interleaver: spreads physically contiguous damage (a lost NAND
+//! page, a blocky codec artifact) across many codewords so each codeword
+//! sees only a few symbols of a burst.
+//!
+//! The mapping is the classic row/column block interleaver. Logical
+//! units (codeword symbols or bits) fill a `depth × cols` matrix
+//! row-major — row `r` is codeword `r` — and the physical medium stores
+//! the matrix column-major. A physical burst of length `B` therefore
+//! touches at most `ceil(B / depth) + 1` units of any one codeword.
+//!
+//! Partial tails are first-class: `total` need not be a multiple of
+//! `depth`. Cells whose row-major index is `>= total` simply do not
+//! exist, and the column-major read skips them, so the mapping is a
+//! bijection on `[0, total)` for every `(depth, total)` pair — pinned by
+//! property tests in `tests/substrate_props.rs`.
+
+/// A bijective row/column block interleaver over `total` units with
+/// `depth` rows (one row per codeword).
+#[derive(Clone, Debug)]
+pub struct Interleaver {
+    depth: usize,
+    cols: usize,
+    total: usize,
+    /// forward[logical] = physical
+    forward: Vec<u32>,
+    /// inverse[physical] = logical
+    inverse: Vec<u32>,
+}
+
+impl Interleaver {
+    /// Builds the interleaver. `depth` is clamped to `total` (a matrix
+    /// with more rows than cells has empty rows, which is harmless but
+    /// pointless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`, `total == 0`, or `total` does not fit the
+    /// `u32` index space.
+    pub fn new(depth: usize, total: usize) -> Self {
+        assert!(depth > 0, "interleaver depth must be positive");
+        assert!(total > 0, "interleaver needs at least one unit");
+        assert!(u32::try_from(total).is_ok(), "interleaver too large");
+        let depth = depth.min(total);
+        let cols = total.div_ceil(depth);
+        let mut forward = vec![0u32; total];
+        let mut inverse = vec![0u32; total];
+        let mut phys = 0u32;
+        for c in 0..cols {
+            for r in 0..depth {
+                let logical = r * cols + c;
+                if logical < total {
+                    forward[logical] = phys;
+                    inverse[phys as usize] = logical as u32;
+                    phys += 1;
+                }
+            }
+        }
+        debug_assert_eq!(phys as usize, total);
+        Interleaver {
+            depth,
+            cols,
+            total,
+            forward,
+            inverse,
+        }
+    }
+
+    /// Number of rows (codewords) in the matrix.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of columns (units per full row).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total units mapped.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when the interleaver maps nothing (never: `new` rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Physical position of logical unit `l` (row-major index, i.e.
+    /// `codeword * cols + offset`).
+    pub fn forward(&self, l: usize) -> usize {
+        self.forward[l] as usize
+    }
+
+    /// Logical unit stored at physical position `p`.
+    pub fn inverse(&self, p: usize) -> usize {
+        self.inverse[p] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matrix_roundtrips() {
+        let il = Interleaver::new(4, 12);
+        for l in 0..12 {
+            assert_eq!(il.inverse(il.forward(l)), l);
+        }
+        // Row 0 (logical 0..3) lands at physical stride `depth`.
+        assert_eq!(il.forward(0), 0);
+        assert_eq!(il.forward(1), 4);
+        assert_eq!(il.forward(2), 8);
+    }
+
+    #[test]
+    fn partial_tail_is_still_a_bijection() {
+        let il = Interleaver::new(5, 13);
+        let mut seen = [false; 13];
+        for l in 0..13 {
+            let p = il.forward(l);
+            assert!(!seen[p], "physical {p} hit twice");
+            seen[p] = true;
+            assert_eq!(il.inverse(p), l);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn burst_spreads_across_rows() {
+        // A physical burst of `depth` consecutive units touches each row
+        // at most twice (once per spanned column).
+        let il = Interleaver::new(8, 64);
+        let mut per_row = [0usize; 8];
+        for p in 10..18 {
+            per_row[il.inverse(p) / il.cols()] += 1;
+        }
+        assert!(per_row.iter().all(|&c| c <= 2), "{per_row:?}");
+    }
+}

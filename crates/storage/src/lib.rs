@@ -7,6 +7,13 @@
 //!   scrub interval,
 //! * [`bch`] — real BCH-X codes over GF(2^10) on 512-bit blocks
 //!   (10·X parity bits, matching the paper's Fig. 8 overheads exactly),
+//! * [`rs`] — Reed–Solomon over the same GF(2^10) with erasure decoding
+//!   (bursty channels know *where* a page died),
+//! * [`interleave`] — row/column block interleaver spreading bursts
+//!   across codewords,
+//! * [`channel`] — the [`channel::Substrate`] trait making the error
+//!   channel pluggable: MLC PCM (i.i.d.), burst page-erasure, and
+//!   data-stored-as-video,
 //! * [`uber`] — binomial-tail math for uncorrectable error rates,
 //! * [`mod@array`] — a physical cell array (bits ↔ Gray-coded levels) that
 //!   validates the analytic rates against stored data,
@@ -34,12 +41,21 @@ pub mod array;
 pub mod batch;
 pub mod bch;
 pub mod bits;
+pub mod channel;
 pub mod density;
 pub mod gf;
+pub mod interleave;
 pub mod mlc;
+pub mod rs;
 pub mod uber;
 
 pub use array::CellArray;
 pub use bch::{Bch, DecodeOutcome, DATA_BITS};
 pub use bits::BitBuf;
+pub use channel::{
+    burst_erasure, data_in_video, mlc_pcm, slc, BurstConfig, BurstErasure, CorruptTally,
+    DataInVideo, MlcPcm, Substrate, VideoChannelConfig,
+};
+pub use interleave::Interleaver;
 pub use mlc::{MlcConfig, MlcSubstrate, SlcSubstrate, DEFAULT_SCRUB_DAYS, TARGET_RAW_BER};
+pub use rs::Rs;

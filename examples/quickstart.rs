@@ -9,7 +9,9 @@ use vapp_metrics::video_psnr;
 use vapp_rand::rngs::StdRng;
 use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
-use videoapp::{ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy};
+use videoapp::{
+    mlc_pcm, ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy,
+};
 
 fn main() {
     // 1. A raw clip (stand-in for camera footage).
@@ -61,7 +63,7 @@ fn main() {
             EcScheme::Bch(11),
         ],
         thresholds: thresholds.to_vec(),
-        raw_ber: 1e-3,
+        substrate: mlc_pcm(1e-3),
         exact_bch: false,
     };
     let store = ApproxStore::new(policy);

@@ -6,26 +6,57 @@
 //! archives a "camera feed" at several retention qualities and prints the
 //! cells-per-pixel economics against SLC and uniformly-corrected MLC.
 //!
+//! The archive medium is pluggable: pass a substrate name as the first
+//! argument or set `VAPP_SUBSTRATE` to rerun the same economics on a
+//! bursty page-erasure channel or on data-stored-as-video.
+//!
 //! ```text
-//! cargo run --release --example surveillance_archive
+//! cargo run --release --example surveillance_archive            # MLC PCM
+//! cargo run --release --example surveillance_archive -- burst
+//! VAPP_SUBSTRATE=video cargo run --release --example surveillance_archive
 //! ```
 
+use std::sync::Arc;
 use vapp_codec::{decode, Encoder, EncoderConfig};
 use vapp_metrics::video_psnr;
 use vapp_rand::rngs::StdRng;
 use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
-use videoapp::{ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy};
+use videoapp::{
+    burst_erasure, data_in_video, mlc_pcm, ApproxStore, BurstConfig, DependencyGraph, EcScheme,
+    ImportanceMap, PivotTable, StoragePolicy, Substrate, VideoChannelConfig,
+};
+
+/// Substrate from argv[1] or `VAPP_SUBSTRATE` (default: the paper's MLC).
+fn pick_substrate() -> (String, Arc<dyn Substrate>) {
+    let name = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("VAPP_SUBSTRATE").ok())
+        .unwrap_or_else(|| "mlc".to_string());
+    let substrate: Arc<dyn Substrate> = match name.as_str() {
+        "mlc" => mlc_pcm(1e-3),
+        "burst" => burst_erasure(BurstConfig::default()),
+        "video" => data_in_video(VideoChannelConfig::default()),
+        other => {
+            eprintln!("unknown substrate `{other}` (expected mlc, burst or video); using mlc");
+            mlc_pcm(1e-3)
+        }
+    };
+    (name, substrate)
+}
 
 fn main() {
+    let (substrate_name, substrate) = pick_substrate();
     let feed = ClipSpec::new(160, 96, 72, SceneKind::LocalMotion)
         .seed(1207)
         .generate();
     println!(
-        "camera feed: {}x{}, {} frames",
+        "camera feed: {}x{}, {} frames — archived on `{}` (raw BER {:.1e})",
         feed.width(),
         feed.height(),
-        feed.len()
+        feed.len(),
+        substrate_name,
+        substrate.raw_ber(),
     );
     println!();
     println!(
@@ -54,7 +85,7 @@ fn main() {
                 EcScheme::Bch(11),
             ],
             thresholds: thresholds.to_vec(),
-            raw_ber: 1e-3,
+            substrate: substrate.clone(),
             exact_bch: false,
         });
         let report = store.report(&result.stream, &table, feed.total_pixels() as u64);

@@ -18,7 +18,10 @@ use vapp_metrics::video_psnr;
 use vapp_rand::rngs::StdRng;
 use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
-use videoapp::{ApproxStore, EcScheme, ImportanceMap, PivotTable, StoragePolicy, VideoApp};
+use videoapp::{
+    burst_erasure, data_in_video, mlc_pcm, ApproxStore, BurstConfig, EcScheme, ImportanceMap,
+    PivotTable, StoragePolicy, Substrate, VideoApp, VideoChannelConfig,
+};
 
 /// How `--stats` wants the observability snapshot rendered.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -114,8 +117,14 @@ usage:
   vapp encode   [--crf N] [--keyint N] [--bframes N] [--slices N] [--cavlc] IN.vraw OUT.vapp
   vapp decode   IN.vapp OUT.vraw
   vapp analyze  IN.vraw [--crf N]
-  vapp store    IN.vraw [--crf N] [--raw-ber R] [--seed S] [--report-json PATH]
+  vapp store    IN.vraw [--crf N] [--substrate mlc|burst|video] [--raw-ber R]
+                [--seed S] [--report-json PATH]
   vapp psnr     A.vraw B.vraw
+
+substrates (vapp store): mlc (default) is the paper's 8-level PCM at
+  --raw-ber (default 1e-3); burst is page-erasure NAND protected by
+  interleaved Reed-Solomon; video round-trips the payload through the
+  lossy codec itself (--raw-ber is ignored by burst/video).
 
 parallelism (any subcommand; outputs are identical at any worker count):
   --threads N    pin parallel regions to N workers (1 = fully sequential)
@@ -355,9 +364,23 @@ fn take_flag_value(args: &mut VecDeque<String>, flag: &str) -> Result<Option<Str
     Ok(out)
 }
 
+/// Builds the substrate selected by `vapp store --substrate`.
+fn pick_substrate(name: &str, raw_ber: f64) -> Result<std::sync::Arc<dyn Substrate>, String> {
+    match name {
+        "mlc" => Ok(mlc_pcm(raw_ber)),
+        "burst" => Ok(burst_erasure(BurstConfig::default())),
+        "video" => Ok(data_in_video(VideoChannelConfig::default())),
+        other => Err(format!(
+            "unknown substrate `{other}` (expected mlc, burst or video)"
+        )),
+    }
+}
+
 fn cmd_store(mut args: VecDeque<String>) -> Result<(), String> {
     let report_json = take_flag_value(&mut args, "--report-json")?;
+    let substrate_name = take_flag_value(&mut args, "--substrate")?.unwrap_or("mlc".to_string());
     let (cfg, seed, raw_ber, positional) = encoder_flags(args)?;
+    let substrate = pick_substrate(&substrate_name, raw_ber)?;
     let [input] = positional.as_slice() else {
         return Err("store needs IN.vraw".into());
     };
@@ -365,6 +388,7 @@ fn cmd_store(mut args: VecDeque<String>) -> Result<(), String> {
     let processed = VideoApp::new(cfg).process(&video);
     let thresholds = vec![8.0, 128.0, 2048.0];
     let table = PivotTable::build(&processed.analysis, &processed.importance, &thresholds);
+    let channel_ber = substrate.raw_ber();
     let store = ApproxStore::new(StoragePolicy {
         ladder_levels: vec![
             EcScheme::Bch(6),
@@ -373,14 +397,14 @@ fn cmd_store(mut args: VecDeque<String>) -> Result<(), String> {
             EcScheme::Bch(11),
         ],
         thresholds,
-        raw_ber,
+        substrate,
         exact_bch: true,
     });
     let report = store.report(&processed.stream, &table, video.total_pixels() as u64);
     let mut rng = StdRng::seed_from_u64(seed);
     let loaded = store.store_load(&processed.stream, &table, &mut rng);
     let decoded = decode(&loaded);
-    println!("raw BER {raw_ber:.1e} on 8-level MLC PCM:");
+    println!("raw BER {channel_ber:.1e} on substrate `{substrate_name}`:");
     println!("  cells/pixel:        {:.4}", report.cells_per_pixel());
     println!("  density vs SLC:     {:.2}x", report.density_vs_slc());
     println!(

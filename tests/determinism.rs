@@ -18,7 +18,10 @@ use vapp_rand::{RngExt, SeedableRng};
 use vapp_sim::Trials;
 use vapp_workloads::{ClipSpec, SceneKind};
 use videoapp::pipeline::measure_loss_curve;
-use videoapp::{ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy};
+use videoapp::{
+    burst_erasure, data_in_video, mlc_pcm, ApproxStore, BurstConfig, DependencyGraph, EcScheme,
+    ImportanceMap, PivotTable, StoragePolicy, Substrate, VideoChannelConfig,
+};
 
 fn fixture() -> (vapp_media::Video, EncodeResult, PivotTable) {
     let video = ClipSpec::new(96, 64, 8, SceneKind::MovingBlocks)
@@ -51,7 +54,7 @@ fn store_load_is_thread_count_invariant_and_counters_reconcile() {
         let policy = StoragePolicy {
             ladder_levels: ladder.clone(),
             thresholds: vec![4.0, 64.0],
-            raw_ber: 1e-3,
+            substrate: mlc_pcm(1e-3),
             exact_bch: exact,
         };
         let run = |threads: usize, reg: Arc<Registry>| {
@@ -134,7 +137,7 @@ fn seeded_store_load_digests_are_pinned() {
         let policy = StoragePolicy {
             ladder_levels: ladder.clone(),
             thresholds: vec![4.0, 64.0],
-            raw_ber,
+            substrate: mlc_pcm(raw_ber),
             exact_bch: exact,
         };
         let store = ApproxStore::new(policy);
@@ -155,6 +158,71 @@ fn seeded_store_load_digests_are_pinned() {
 const DIGEST_ANALYTIC: u64 = 0x1a4a_ae54_9303_7118;
 const DIGEST_EXACT: u64 = 0x1a4a_ae54_9303_7118;
 const DIGEST_EXACT_HIGH_BER: u64 = 0x2957_d67f_842e_bab1;
+
+/// The new substrates obey the same contract as MLC: store/load output
+/// is a pure function of the master seed, byte-identical at any worker
+/// count, and its digest is pinned so seeded burst/video corruption
+/// stays part of the compatibility surface.
+#[test]
+fn substrate_store_load_is_thread_count_invariant_and_pinned() {
+    let (_video, result, table) = fixture();
+    let ladder = vec![EcScheme::None, EcScheme::Bch(6), EcScheme::Bch(10)];
+    let cases: [(&str, Arc<dyn Substrate>, u64); 3] = [
+        (
+            "burst-rs",
+            burst_erasure(BurstConfig {
+                page_loss: 5e-3, // high enough that pages actually drop
+                ..BurstConfig::default()
+            }),
+            DIGEST_BURST_RS,
+        ),
+        (
+            "burst-ilbch",
+            burst_erasure(BurstConfig {
+                page_loss: 5e-3,
+                interleaved_bch: true,
+                ..BurstConfig::default()
+            }),
+            DIGEST_BURST_ILBCH,
+        ),
+        (
+            "video",
+            data_in_video(VideoChannelConfig::default()),
+            DIGEST_VIDEO,
+        ),
+    ];
+    for (name, substrate, expect) in cases {
+        let policy = StoragePolicy {
+            ladder_levels: ladder.clone(),
+            thresholds: vec![4.0, 64.0],
+            substrate,
+            exact_bch: true,
+        };
+        let run = |threads: usize| {
+            vapp_par::with_threads(threads, || {
+                let store = ApproxStore::new(policy.clone());
+                let mut rng = StdRng::seed_from_u64(7);
+                store.store_load(&result.stream, &table, &mut rng)
+            })
+        };
+        let seq = run(1);
+        let par = run(8);
+        assert_eq!(seq, par, "{name}: loaded stream differs across workers");
+        assert_eq!(
+            stream_digest(&seq),
+            expect,
+            "{name}: seeded output bytes moved (digest {:#018x})",
+            stream_digest(&seq)
+        );
+    }
+}
+
+const DIGEST_BURST_RS: u64 = 0xa7e5_d8fe_f57f_6ac8;
+// RS and interleaved-BCH coincide here: both fully correct the protected
+// levels at this loss rate, so only the shared unprotected level-0
+// damage (same t=0 path, same sub-seed) reaches the digest.
+const DIGEST_BURST_ILBCH: u64 = 0xa7e5_d8fe_f57f_6ac8;
+const DIGEST_VIDEO: u64 = 0xa672_7538_2e4e_80eb;
 
 #[test]
 fn loss_curve_is_thread_count_invariant() {

@@ -7,8 +7,8 @@ use vapp_rand::rngs::StdRng;
 use vapp_rand::SeedableRng;
 use vapp_workloads::{ClipSpec, SceneKind};
 use videoapp::{
-    ApproxStore, Assignment, DependencyGraph, EcScheme, ImportanceMap, LossCurve, PivotTable,
-    StoragePolicy, QUALITY_BUDGET_DB,
+    mlc_pcm, ApproxStore, Assignment, DependencyGraph, EcScheme, ImportanceMap, LossCurve,
+    PivotTable, StoragePolicy, QUALITY_BUDGET_DB,
 };
 
 fn encode_clip() -> (vapp_media::Video, vapp_codec::EncodeResult) {
@@ -36,7 +36,7 @@ fn full_pipeline_stays_within_quality_budget() {
     let store = ApproxStore::new(StoragePolicy {
         ladder_levels: vec![EcScheme::Bch(6), EcScheme::Bch(8), EcScheme::Bch(10)],
         thresholds,
-        raw_ber: 1e-3,
+        substrate: mlc_pcm(1e-3),
         exact_bch: false,
     });
 
@@ -86,7 +86,7 @@ fn assignment_driven_policy_round_trips() {
     let assignment = Assignment::compute(&class_meta, &curves, QUALITY_BUDGET_DB, 1e-3);
     assert_eq!(assignment.header_scheme, EcScheme::PRECISE);
 
-    let policy = StoragePolicy::from_assignment(&assignment, 1e-3);
+    let policy = StoragePolicy::from_assignment_mlc(&assignment, 1e-3);
     let table = PivotTable::build(&result.analysis, &importance, &policy.thresholds);
     let store = ApproxStore::new(policy);
     let mut rng = StdRng::seed_from_u64(99);
@@ -126,7 +126,7 @@ fn soak_quality_budget_many_trials_exact_bch() {
     let store = ApproxStore::new(StoragePolicy {
         ladder_levels: vec![EcScheme::Bch(6), EcScheme::Bch(8), EcScheme::Bch(10)],
         thresholds,
-        raw_ber: 1e-3,
+        substrate: mlc_pcm(1e-3),
         exact_bch: true,
     });
 
@@ -152,7 +152,7 @@ fn exact_bch_pipeline_smoke() {
     let mut policy = StoragePolicy {
         ladder_levels: vec![EcScheme::Bch(6), EcScheme::Bch(6)],
         thresholds: vec![32.0],
-        raw_ber: 1e-3,
+        substrate: mlc_pcm(1e-3),
         exact_bch: true,
     };
     policy.exact_bch = true;

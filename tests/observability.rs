@@ -12,7 +12,7 @@ use vapp_rand::SeedableRng;
 use vapp_storage::density;
 use vapp_workloads::{ClipSpec, SceneKind};
 use videoapp::{
-    ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PipelineReport, PivotTable,
+    mlc_pcm, ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PipelineReport, PivotTable,
     StoragePolicy,
 };
 
@@ -37,7 +37,7 @@ fn policy() -> StoragePolicy {
     StoragePolicy {
         ladder_levels: vec![EcScheme::Bch(6), EcScheme::Bch(9), EcScheme::Bch(16)],
         thresholds: vec![8.0, 64.0],
-        raw_ber: 1e-3,
+        substrate: mlc_pcm(1e-3),
         exact_bch: false,
     }
 }

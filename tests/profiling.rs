@@ -22,7 +22,9 @@ use vapp_rand::{RngExt, SeedableRng};
 use vapp_sim::Trials;
 use vapp_workloads::{ClipSpec, SceneKind};
 use videoapp::pipeline::measure_loss_curve;
-use videoapp::{ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy};
+use videoapp::{
+    mlc_pcm, ApproxStore, DependencyGraph, EcScheme, ImportanceMap, PivotTable, StoragePolicy,
+};
 
 fn fixture() -> (vapp_media::Video, EncodeResult, PivotTable) {
     let video = ClipSpec::new(96, 64, 8, SceneKind::MovingBlocks)
@@ -43,7 +45,7 @@ fn exact_policy() -> StoragePolicy {
     StoragePolicy {
         ladder_levels: vec![EcScheme::None, EcScheme::Bch(6), EcScheme::Bch(10)],
         thresholds: vec![4.0, 64.0],
-        raw_ber: 2e-2,
+        substrate: mlc_pcm(2e-2),
         exact_bch: true,
     }
 }
