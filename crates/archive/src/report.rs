@@ -1,0 +1,77 @@
+//! The `archive_report`: throughput + per-op-class latency quantiles.
+//!
+//! Renders a fleet run's outcome and its `vapp-obs` snapshot as the
+//! fixed-width table the CLI (`vapp archive`) and the bench-side
+//! `archive_report` binary print. Latency quantiles come straight from
+//! the mergeable sketches behind `archive.op.<class>.ns`.
+
+use vapp_obs::snapshot::Snapshot;
+
+use crate::fleet::FleetOutcome;
+
+/// Latency classes the service records, in report order.
+const OP_CLASSES: [&str; 4] = ["ingest", "read_hit", "read_miss", "delete"];
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Renders the archive report table from a fleet outcome and the obs
+/// snapshot taken after the run.
+pub fn render(outcome: &FleetOutcome, snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let secs = outcome.elapsed.as_secs_f64().max(1e-9);
+    out.push_str(&format!(
+        "archive fleet: {} completed / {} submitted ({} rejected) in {:.2}s — {:.0} req/s\n",
+        outcome.completed,
+        outcome.submitted,
+        outcome.rejected,
+        secs,
+        outcome.completed as f64 / secs,
+    ));
+    out.push_str(&format!(
+        "reads served {}  cache {}/{} hit/miss ({} evictions)  degraded {}  ingested {}  deleted {}  compactions {}\n",
+        outcome.reads_served,
+        outcome.cache_hits,
+        outcome.cache_misses,
+        outcome.cache_evictions,
+        outcome.degraded,
+        outcome.ingested,
+        outcome.deleted,
+        outcome.compaction_runs,
+    ));
+    out.push_str(&format!("digest 0x{:016x}\n\n", outcome.digest));
+
+    let widths = [10, 10, 10, 10, 10];
+    let header = ["op", "count", "p50", "p99", "p999"];
+    for (h, w) in header.iter().zip(widths) {
+        out.push_str(&format!("{h:<w$}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>()));
+    out.push('\n');
+    for class in OP_CLASSES {
+        let name = format!("archive.op.{class}.ns");
+        let (count, p50, p99, p999) = match snap.histogram(&name) {
+            Some(h) => (
+                h.count,
+                fmt_ns(h.quantile(0.50)),
+                fmt_ns(h.quantile(0.99)),
+                fmt_ns(h.quantile(0.999)),
+            ),
+            None => (0, "-".into(), "-".into(), "-".into()),
+        };
+        let cells = [class.to_string(), count.to_string(), p50, p99, p999];
+        for (cell, w) in cells.iter().zip(widths) {
+            out.push_str(&format!("{cell:<w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,154 @@
+//! Property pins for the namespace/extent allocator (`vapp-check`):
+//! allocate/free/realloc round-trips conserve blocks, live extents never
+//! overlap (each other or the free list), and free-list compaction
+//! preserves every live object's bytes.
+
+use vapp_archive::{Archive, ExtentAllocator, TenantPolicy};
+use vapp_check::{check, gen};
+use vapp_rand::rngs::StdRng;
+use vapp_rand::RngExt;
+use vapp_storage::channel::mlc_pcm;
+use vapp_storage::BLOCK_BYTES;
+
+/// Every block is in exactly one place: allocations are pairwise
+/// disjoint and disjoint from what the allocator still counts free.
+fn assert_no_overlap(live: &[Vec<vapp_archive::Extent>], total: u64) {
+    let mut owner = vec![false; total as usize];
+    for extents in live {
+        for e in extents {
+            assert!(e.blocks > 0 && e.end() <= total, "extent out of range");
+            for b in e.start..e.end() {
+                assert!(!owner[b as usize], "block {b} allocated twice");
+                owner[b as usize] = true;
+            }
+        }
+    }
+}
+
+#[test]
+fn allocate_free_realloc_roundtrips_conserve_blocks() {
+    check("archive.alloc.roundtrip", 200, |rng| {
+        let total = rng.random_range(16..256u64);
+        let mut alloc = ExtentAllocator::new(total);
+        let mut live: Vec<Vec<vapp_archive::Extent>> = Vec::new();
+        for _ in 0..40 {
+            let free = alloc.free_blocks();
+            if !live.is_empty() && rng.random_bool(0.4) {
+                let k = gen::index(rng, live.len());
+                alloc.release(&live.swap_remove(k));
+            } else {
+                let want = rng.random_range(1..(total / 2).max(2));
+                match alloc.allocate(want) {
+                    Some(extents) => {
+                        assert_eq!(
+                            extents.iter().map(|e| e.blocks).sum::<u64>(),
+                            want,
+                            "allocation must deliver exactly what was asked"
+                        );
+                        live.push(extents);
+                    }
+                    None => {
+                        assert!(free < want, "refusal only when short on blocks");
+                        assert_eq!(alloc.free_blocks(), free, "failed alloc must not leak");
+                    }
+                }
+            }
+            let used: u64 = live.iter().flatten().map(|e| e.blocks).sum();
+            assert_eq!(alloc.used_blocks(), used, "block conservation");
+            assert_no_overlap(&live, total);
+        }
+        // Free everything: one coalesced run, all blocks back.
+        for extents in live.drain(..) {
+            alloc.release(&extents);
+        }
+        assert_eq!(alloc.free_blocks(), total);
+        assert_eq!(alloc.fragments(), 1);
+        assert!(alloc.allocate(total).is_some(), "full realloc after drain");
+    });
+}
+
+/// Random put/delete churn, then compaction of every bank: every
+/// surviving object reads back the same bytes with the same degraded
+/// verdict, and the free lists collapse to single runs.
+#[test]
+fn compaction_preserves_every_live_objects_bytes() {
+    check("archive.alloc.compaction", 25, |rng| {
+        let seed = rng.random::<u64>();
+        let banks = rng.random_range(1..4u64) as usize;
+        let mut archive = Archive::new(
+            banks,
+            2048,
+            mlc_pcm(1e-3),
+            TenantPolicy::default_tiers(),
+            seed,
+        );
+        let mut payloads = Vec::new();
+        for id in 0..rng.random_range(8..20u64) {
+            let payload = gen::bytes(rng, 1..3 * BLOCK_BYTES * 4);
+            archive.put(id, (id % 3) as u32, &payload).unwrap();
+            payloads.push(id);
+        }
+        let victims = gen::distinct(rng, 0..payloads.len(), payloads.len() / 3);
+        for &v in &victims {
+            assert!(archive.delete(payloads[v]));
+        }
+        let survivors: Vec<u64> = (0..payloads.len())
+            .filter(|i| !victims.contains(i))
+            .map(|i| payloads[i])
+            .collect();
+        let before: Vec<_> = survivors
+            .iter()
+            .map(|&id| archive.read(id).unwrap())
+            .collect();
+        for bank in 0..banks {
+            archive.compact_bank(bank);
+            assert_eq!(archive.fragments(bank), 1, "compaction must defragment");
+        }
+        for (&id, want) in survivors.iter().zip(&before) {
+            let got = archive.read(id).unwrap();
+            assert_eq!(
+                got.bytes, want.bytes,
+                "object {id} changed across compaction"
+            );
+            assert_eq!(got.degraded, want.degraded);
+        }
+    });
+}
+
+/// Namespace-level no-overlap: after arbitrary churn, the extents of
+/// all live objects on each bank are pairwise disjoint.
+#[test]
+fn live_object_extents_never_overlap() {
+    check("archive.alloc.no_overlap", 40, |rng: &mut StdRng| {
+        let mut archive = Archive::new(
+            2,
+            1024,
+            mlc_pcm(0.0),
+            TenantPolicy::default_tiers(),
+            rng.random::<u64>(),
+        );
+        let mut next_id = 0u64;
+        let mut live = Vec::new();
+        for _ in 0..60 {
+            if !live.is_empty() && rng.random_bool(0.35) {
+                let k = gen::index(rng, live.len());
+                assert!(archive.delete(live.swap_remove(k)));
+            } else {
+                let payload = gen::bytes(rng, 1..6 * BLOCK_BYTES);
+                if archive.put(next_id, 0, &payload).is_ok() {
+                    live.push(next_id);
+                }
+                next_id += 1;
+            }
+        }
+        for bank in 0..2 {
+            let extents: Vec<Vec<vapp_archive::Extent>> = archive
+                .namespace()
+                .iter()
+                .filter(|(&id, _)| vapp_archive::shard_of(id, 2) == bank)
+                .flat_map(|(_, meta)| meta.streams.iter().map(|s| s.extents.clone()))
+                .collect();
+            assert_no_overlap(&extents, 1024);
+        }
+    });
+}

@@ -1,0 +1,48 @@
+//! **Archive service report**: runs the deterministic fleet workload
+//! against the sharded multi-tenant archive and prints the
+//! `archive_report` — throughput, request accounting, cache behaviour,
+//! and p50/p99/p999 latency per op class from the `vapp-obs` sketches.
+//!
+//! ```sh
+//! cargo run --release -p vapp-bench --bin archive_report            # smoke
+//! cargo run --release -p vapp-bench --bin archive_report -- --soak  # 2000 clients
+//! cargo run --release -p vapp-bench --bin archive_report -- --seed 7 --clients 100
+//! ```
+//!
+//! Same-seed runs print identical digests and counters at any
+//! `VAPP_THREADS`; only the wall-clock column moves.
+
+use std::sync::Arc;
+
+use vapp_archive::{report, run_fleet, FleetConfig};
+use vapp_obs::registry::with_registry;
+use vapp_obs::Registry;
+
+fn main() {
+    let mut cfg = FleetConfig::smoke();
+    let mut seed = 0xA2C4_17E0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => cfg = FleetConfig::smoke(),
+            "--soak" => cfg = FleetConfig::soak(),
+            "--clients" => cfg.clients = need(&mut args, "--clients"),
+            "--rounds" => cfg.rounds = need(&mut args, "--rounds"),
+            "--seed" => seed = need(&mut args, "--seed"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let reg = Arc::new(Registry::new());
+    let outcome = with_registry(Arc::clone(&reg), || run_fleet(&cfg, seed));
+    print!("{}", report::render(&outcome, &reg.snapshot()));
+}
+
+fn need<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a numeric value");
+        std::process::exit(2);
+    })
+}

@@ -15,6 +15,8 @@
 //!   channel pluggable: MLC PCM (i.i.d.), burst page-erasure, and
 //!   data-stored-as-video,
 //! * [`uber`] — binomial-tail math for uncorrectable error rates,
+//! * [`bank`] — a fixed-capacity block bank (one shard of the archive
+//!   layer): pristine writes, substrate-decoded reads,
 //! * [`mod@array`] — a physical cell array (bits ↔ Gray-coded levels) that
 //!   validates the analytic rates against stored data,
 //! * [`density`] — cells-per-pixel accounting for Fig. 11,
@@ -38,6 +40,7 @@
 //! ```
 
 pub mod array;
+pub mod bank;
 pub mod batch;
 pub mod bch;
 pub mod bits;
@@ -50,6 +53,7 @@ pub mod rs;
 pub mod uber;
 
 pub use array::CellArray;
+pub use bank::{Bank, BLOCK_BYTES};
 pub use bch::{Bch, DecodeOutcome, DATA_BITS};
 pub use bits::BitBuf;
 pub use channel::{

@@ -78,6 +78,7 @@ fn main() -> ExitCode {
         "decode" => cmd_decode(args),
         "analyze" => cmd_analyze(args),
         "store" => cmd_store(args),
+        "archive" => cmd_archive(args),
         "psnr" => cmd_psnr(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -119,7 +120,16 @@ usage:
   vapp analyze  IN.vraw [--crf N]
   vapp store    IN.vraw [--crf N] [--substrate mlc|burst|video] [--raw-ber R]
                 [--seed S] [--report-json PATH]
+  vapp archive  [--smoke|--soak] [--clients N] [--rounds N] [--objects N]
+                [--raw-ber R] [--seed S]
   vapp psnr     A.vraw B.vraw
+
+archive (fleet simulation): drives the sharded multi-tenant archive
+  service with a deterministic client fleet (Zipf reads, Poisson-ish
+  uploads) and prints the archive_report: throughput plus p50/p99/p999
+  latency per op class. --smoke (default) is the tier-1 CI scale; --soak
+  is thousands of clients. The run is a pure function of --seed at any
+  --threads count.
 
 substrates (vapp store): mlc (default) is the paper's 8-level PCM at
   --raw-ber (default 1e-3); burst is page-erasure NAND protected by
@@ -429,6 +439,57 @@ fn cmd_store(mut args: VecDeque<String>) -> Result<(), String> {
         );
         write_file(&path, json.as_bytes())?;
         println!("  report JSON:        {path}");
+    }
+    Ok(())
+}
+
+fn cmd_archive(args: VecDeque<String>) -> Result<(), String> {
+    let mut cfg = vapp_archive::FleetConfig::smoke();
+    let mut seed = 0xA2C4_17E0u64; // the tier-1 test's pinned seed
+    let positional = parse_flags(args, |name, v| {
+        Ok(match name {
+            "smoke" => {
+                cfg = vapp_archive::FleetConfig::smoke();
+                false
+            }
+            "soak" => {
+                cfg = vapp_archive::FleetConfig::soak();
+                false
+            }
+            "clients" => {
+                cfg.clients = parse_num(name, v)?;
+                true
+            }
+            "rounds" => {
+                cfg.rounds = parse_num(name, v)?;
+                true
+            }
+            "objects" => {
+                cfg.initial_objects = parse_num(name, v)?;
+                true
+            }
+            "raw-ber" => {
+                cfg.raw_ber = parse_num(name, v)?;
+                true
+            }
+            "seed" => {
+                seed = parse_num(name, v)?;
+                true
+            }
+            _ => return Err(format!("unknown flag --{name}")),
+        })
+    })?;
+    if !positional.is_empty() {
+        return Err("archive takes no positional arguments".into());
+    }
+    let outcome = vapp_archive::run_fleet(&cfg, seed);
+    let snap = vapp_obs::current().snapshot();
+    print!("{}", vapp_archive::report::render(&outcome, &snap));
+    if outcome.completed + outcome.rejected != outcome.submitted {
+        return Err("request accounting broken: submitted != completed + rejected".into());
+    }
+    if outcome.completed == 0 {
+        return Err("fleet completed zero requests".into());
     }
     Ok(())
 }

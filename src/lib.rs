@@ -4,6 +4,7 @@
 //! use one coherent namespace. See `README.md` for the tour and
 //! `DESIGN.md` for the system inventory.
 
+pub use vapp_archive as archive;
 pub use vapp_codec as codec;
 pub use vapp_crypto as crypto;
 pub use vapp_media as media;
