@@ -26,14 +26,17 @@
 
 use crate::analysis::{AnalysisRecord, Dependency, FrameAnalysis, MbAnalysis};
 use crate::entropy::{CabacWriter, CavlcWriter, Element, EntropyMode, SymbolWriter};
-use crate::inter::{bi_average, mc_block_sub, ref_rect, sad_against, search_sub, SearchResult};
+use crate::inter::{
+    bi_average_into, mc_block_sub_into, ref_rect, sad_against_bounded, search_sub_stats,
+    SearchResult, SearchStats, MAX_BLOCK_PIXELS,
+};
 use crate::intra::{intra_sources, predict_intra16, predict_intra4, Intra4Avail, IntraAvail};
-use crate::quant::{dequantize, quantize, to_zigzag, MAX_QP};
+use crate::quant::{dequant_inverse, forward_quant, to_zigzag, MAX_QP};
 use crate::syntax::{EncodedFrame, EncodedVideo, FrameHeader, StreamHeader};
-use crate::transform::{forward4x4, inverse4x4, Block4x4};
+use crate::transform::Block4x4;
 use crate::types::{
-    predict_mv, FrameType, Intra4Mode, IntraMode, MotionVector, PartShape, PartitionLayout,
-    PredDir, SubShape,
+    predict_mv, BlockGeom, FrameType, Intra4Mode, IntraMode, MotionVector, PartShape,
+    PartitionLayout, PredDir, SubShape,
 };
 use vapp_media::{Frame, MbGrid, Plane, Video, MB_SIZE};
 
@@ -498,6 +501,11 @@ struct FrameOut {
     analysis: FrameAnalysis,
     /// Entropy-coder binary decisions across all slices (observability).
     bins: u64,
+    /// SAD evaluations pruned by the running-best bound, summed over every
+    /// search this frame actually consumed (observability). Candidate-pass
+    /// searches count only when the mode decision uses their result, so the
+    /// total is identical at any worker count.
+    early_exits: u64,
 }
 
 /// Batches one coded frame's metrics into the observability registry:
@@ -520,6 +528,7 @@ fn record_frame_metrics(out: &FrameOut) {
     reg.counter("codec.payload.bits")
         .add(out.payload.len() as u64 * 8);
     reg.counter("codec.arith.bins").add(out.bins);
+    reg.counter("codec.sad.early_exit").add(out.early_exits);
 }
 
 /// The chosen coding mode for one macroblock.
@@ -578,6 +587,7 @@ where
         mb_candidates(ctx, mb, slice_top[row], base_qp, with_bwd)
     });
 
+    let mut search_stats = SearchStats::default();
     for &(row_start, row_end) in &slices {
         let mut w = new_writer();
         let slice_base_bits = payload.len() as u64 * 8;
@@ -596,6 +606,7 @@ where
                     row_start,
                     &cands[mb],
                     &mut prev_qp,
+                    &mut search_stats,
                 );
                 mbs[mb] = MbAnalysis {
                     bit_start,
@@ -630,6 +641,7 @@ where
             slice_starts,
         },
         bins,
+        early_exits: search_stats.early_exits,
     }
 }
 
@@ -643,6 +655,7 @@ fn encode_mb<W: SymbolWriter>(
     slice_top_row: usize,
     cand: &MbCandidates,
     prev_qp: &mut u8,
+    stats: &mut SearchStats,
 ) -> (Vec<Dependency>, bool, bool) {
     let grid = ctx.grid;
     let (col, row) = grid.mb_position(mb);
@@ -667,7 +680,10 @@ fn encode_mb<W: SymbolWriter>(
     let lam = lambda(qp);
 
     // --- mode decision ---
-    let mode = decide_mode(ctx, mb_x, mb_y, &cur_block, cand, qp, lam, pred_fwd);
+    let mode = {
+        let _search_span = vapp_obs::span!("codec.mb.search");
+        decide_mode(ctx, mb_x, mb_y, &cur_block, cand, qp, lam, pred_fwd, stats)
+    };
 
     // --- write syntax + reconstruct ---
     let avail = IntraAvail {
@@ -679,7 +695,8 @@ fn encode_mb<W: SymbolWriter>(
     match mode {
         MbMode::Skip { mv } => {
             w.put_flag(Element::Skip, skip_ctx_inc(states, &nb), true);
-            let pred = mc_block_sub(
+            let mut pred = [0u8; MAX_BLOCK_PIXELS];
+            mc_block_sub_into(
                 ctx.ref_fwd.expect("skip needs a reference"),
                 mb_x,
                 mb_y,
@@ -687,6 +704,7 @@ fn encode_mb<W: SymbolWriter>(
                 MB_SIZE,
                 mv,
                 ctx.cfg.subpel,
+                &mut pred,
             );
             recon.store_block(mb_x, mb_y, MB_SIZE, MB_SIZE, &pred);
             push_mc_deps(
@@ -783,7 +801,11 @@ fn encode_mb<W: SymbolWriter>(
             let mut prev_fwd: Option<MotionVector> = None;
             let mut prev_bwd: Option<MotionVector> = None;
             let mut first_mvd_mag = 0u32;
-            let mut pred16 = vec![0u8; 256];
+            let mut pred16 = [0u8; MAX_BLOCK_PIXELS];
+            // Scratch buffers reused by every block of this macroblock: no
+            // per-candidate Vec allocations in the compensation loop.
+            let mut block_pred = [0u8; MAX_BLOCK_PIXELS];
+            let mut bwd_pred = [0u8; MAX_BLOCK_PIXELS];
             for (i, (g, b)) in geoms.iter().zip(&blocks).enumerate() {
                 if is_b {
                     w.put_uint(Element::PredDir, 0, b.dir.to_index());
@@ -811,7 +833,9 @@ fn encode_mb<W: SymbolWriter>(
                 let bx = mb_x + g.dx;
                 let by = mb_y + g.dy;
                 let sp = ctx.cfg.subpel;
-                let block_pred = match b.dir {
+                let n = g.w * g.h;
+                let bp = &mut block_pred[..n];
+                match b.dir {
                     PredDir::Forward => {
                         push_mc_deps(
                             &mut deps,
@@ -825,7 +849,7 @@ fn encode_mb<W: SymbolWriter>(
                             area_frac(g.w, g.h),
                             sp,
                         );
-                        mc_block_sub(
+                        mc_block_sub_into(
                             ctx.ref_fwd.expect("fwd ref"),
                             bx,
                             by,
@@ -833,7 +857,8 @@ fn encode_mb<W: SymbolWriter>(
                             g.h,
                             b.mv_fwd,
                             sp,
-                        )
+                            bp,
+                        );
                     }
                     PredDir::Backward => {
                         push_mc_deps(
@@ -848,7 +873,7 @@ fn encode_mb<W: SymbolWriter>(
                             area_frac(g.w, g.h),
                             sp,
                         );
-                        mc_block_sub(
+                        mc_block_sub_into(
                             ctx.ref_bwd.expect("bwd ref"),
                             bx,
                             by,
@@ -856,7 +881,8 @@ fn encode_mb<W: SymbolWriter>(
                             g.h,
                             b.mv_bwd,
                             sp,
-                        )
+                            bp,
+                        );
                     }
                     PredDir::Bi => {
                         push_mc_deps(
@@ -883,16 +909,8 @@ fn encode_mb<W: SymbolWriter>(
                             area_frac(g.w, g.h) * 0.5,
                             sp,
                         );
-                        let f = mc_block_sub(
-                            ctx.ref_fwd.expect("fwd ref"),
-                            bx,
-                            by,
-                            g.w,
-                            g.h,
-                            b.mv_fwd,
-                            sp,
-                        );
-                        let bw = mc_block_sub(
+                        let bw = &mut bwd_pred[..n];
+                        mc_block_sub_into(
                             ctx.ref_bwd.expect("bwd ref"),
                             bx,
                             by,
@@ -900,19 +918,29 @@ fn encode_mb<W: SymbolWriter>(
                             g.h,
                             b.mv_bwd,
                             sp,
+                            bw,
                         );
-                        bi_average(&f, &bw)
+                        let mut fwd = [0u8; MAX_BLOCK_PIXELS];
+                        mc_block_sub_into(
+                            ctx.ref_fwd.expect("fwd ref"),
+                            bx,
+                            by,
+                            g.w,
+                            g.h,
+                            b.mv_fwd,
+                            sp,
+                            &mut fwd[..n],
+                        );
+                        bi_average_into(&fwd[..n], bw, bp);
                     }
                 };
                 for y in 0..g.h {
-                    for x in 0..g.w {
-                        pred16[(g.dy + y) * MB_SIZE + g.dx + x] = block_pred[y * g.w + x];
-                    }
+                    pred16[(g.dy + y) * MB_SIZE + g.dx..][..g.w]
+                        .copy_from_slice(&bp[y * g.w..][..g.w]);
                 }
             }
-            let pred_arr: [u8; 256] = pred16.try_into().expect("16x16 prediction");
             code_residual_and_recon(
-                w, recon, mb_x, mb_y, &cur_block, &pred_arr, qp, false, prev_qp,
+                w, recon, mb_x, mb_y, &cur_block, &pred16, qp, false, prev_qp,
             );
             let rep_fwd = blocks
                 .iter()
@@ -988,6 +1016,10 @@ struct MbCandidates {
     /// single-threaded, where speculative search for macroblocks that end
     /// up skipped would be pure overhead.
     bwd_whole: Option<SearchResult>,
+    /// Early-exit stats of the precomputed backward search. Merged into the
+    /// frame totals only when `decide_mode` consumes `bwd_whole`, so the
+    /// counters match the lazy single-threaded path exactly.
+    bwd_stats: SearchStats,
 }
 
 fn mb_candidates(
@@ -1019,7 +1051,10 @@ fn mb_candidates(
     // --- per-MB QP (CRF-like motion-adaptive quantisation) ---
     let mut qp = base_qp;
     if ctx.cfg.adaptive_qp && inter_allowed {
-        let activity = ctx.cur.sad(
+        // Only the threshold comparison matters, so the SAD can stop as
+        // soon as it exceeds the activity cutoff (decision-identical).
+        const ACTIVITY_CUTOFF: u64 = 12 * 256;
+        let activity = ctx.cur.sad_bounded(
             mb_x,
             mb_y,
             MB_SIZE,
@@ -1027,8 +1062,9 @@ fn mb_candidates(
             ctx.ref_fwd.expect("inter_allowed"),
             mb_x as isize,
             mb_y as isize,
+            ACTIVITY_CUTOFF,
         );
-        if activity > 12 * 256 {
+        if activity > ACTIVITY_CUTOFF {
             qp = (qp + 2).min(MAX_QP);
         }
     }
@@ -1041,11 +1077,7 @@ fn mb_candidates(
     let mut best_intra = (IntraMode::Dc, u64::MAX);
     for m in avail.legal_modes() {
         let pred = predict_intra16(ctx.cur, mb_x, mb_y, avail, m);
-        let sad: u64 = cur_block
-            .iter()
-            .zip(&pred)
-            .map(|(&a, &b)| (a as i32 - b as i32).unsigned_abs() as u64)
-            .sum();
+        let sad = vapp_media::kernels::sad_slices(&cur_block, &pred);
         let cost = sad + lam * if m == IntraMode::Dc { 4 } else { 6 };
         if cost < best_intra.1 {
             best_intra = (m, cost);
@@ -1067,10 +1099,9 @@ fn mb_candidates(
                 let pred = predict_intra4(ctx.cur, bx, by, a4, m);
                 let mut sad = 0u64;
                 for y in 0..4 {
-                    for x in 0..4 {
-                        let i = ((blk / 4) * 4 + y) * MB_SIZE + (blk % 4) * 4 + x;
-                        sad += (cur_block[i] as i32 - pred[y * 4 + x] as i32).unsigned_abs() as u64;
-                    }
+                    let i = ((blk / 4) * 4 + y) * MB_SIZE + (blk % 4) * 4;
+                    sad +=
+                        vapp_media::kernels::sad_slices(&cur_block[i..i + 4], &pred[y * 4..][..4]);
                 }
                 best = best.min(sad);
             }
@@ -1081,9 +1112,10 @@ fn mb_candidates(
 
     // Backward 16x16 full search: centered on the zero vector, so it
     // reads only the source and backward reference planes.
+    let mut bwd_stats = SearchStats::default();
     let bwd_whole = if with_bwd {
         ctx.ref_bwd.map(|rb| {
-            search_sub(
+            search_sub_stats(
                 ctx.cur,
                 rb,
                 mb_x,
@@ -1093,6 +1125,7 @@ fn mb_candidates(
                 MotionVector::ZERO,
                 ctx.cfg.search_range,
                 ctx.cfg.subpel,
+                &mut bwd_stats,
             )
         })
     } else {
@@ -1104,6 +1137,7 @@ fn mb_candidates(
         best_intra,
         intra4_cost,
         bwd_whole,
+        bwd_stats,
     }
 }
 
@@ -1117,6 +1151,7 @@ fn decide_mode(
     qp: u8,
     lam: u64,
     pred_fwd: MotionVector,
+    stats: &mut SearchStats,
 ) -> MbMode {
     let is_b = ctx.plan.frame_type == FrameType::B;
 
@@ -1133,9 +1168,13 @@ fn decide_mode(
         };
     };
 
+    // One compensation scratch per macroblock task: every candidate probe
+    // below reuses it instead of allocating a Vec per candidate.
+    let mut scratch = [0u8; MAX_BLOCK_PIXELS];
+
     // Skip candidate: prediction with the predicted MV and zero residual.
     {
-        let pred = mc_block_sub(
+        mc_block_sub_into(
             ref_fwd,
             mb_x,
             mb_y,
@@ -1143,13 +1182,9 @@ fn decide_mode(
             MB_SIZE,
             pred_fwd,
             ctx.cfg.subpel,
+            &mut scratch,
         );
-        let sad: u64 = cur_block
-            .iter()
-            .zip(&pred)
-            .map(|(&a, &b)| (a as i32 - b as i32).unsigned_abs() as u64)
-            .sum();
-        let pred_arr: [u8; 256] = pred.clone().try_into().expect("16x16 block");
+        let sad = vapp_media::kernels::sad_slices(cur_block, &scratch);
         // The approximability-aware decision (paper §8) skips whenever the
         // residual would quantise to zero at a *coarser* QP — unreferenced
         // B macroblocks get the coarsest test since their damage cannot
@@ -1159,14 +1194,14 @@ fn decide_mode(
         } else {
             qp
         };
-        if sad < 6000 && residual_is_zero(cur_block, &pred_arr, skip_qp) {
+        if sad < 6000 && residual_is_zero(cur_block, &scratch, skip_qp) {
             return MbMode::Skip { mv: pred_fwd };
         }
     }
 
     // Inter: 16x16 search, then partition refinement.
     let sp = ctx.cfg.subpel;
-    let whole = search_sub(
+    let whole = search_sub_stats(
         ctx.cur,
         ref_fwd,
         mb_x,
@@ -1176,13 +1211,19 @@ fn decide_mode(
         pred_fwd,
         ctx.cfg.search_range,
         sp,
+        stats,
     );
-    // Use the precomputed backward search when the candidate pass ran it;
-    // fall back to the identical inline search otherwise.
+    // Use the precomputed backward search when the candidate pass ran it
+    // (merging its early-exit stats only now, so skipped macroblocks never
+    // contribute and the counters are worker-count-invariant); fall back to
+    // the identical inline search otherwise.
     let bwd_whole = match cand.bwd_whole {
-        some @ Some(_) => some,
+        some @ Some(_) => {
+            stats.merge(cand.bwd_stats);
+            some
+        }
         None => ctx.ref_bwd.map(|rb| {
-            search_sub(
+            search_sub_stats(
                 ctx.cur,
                 rb,
                 mb_x,
@@ -1192,6 +1233,7 @@ fn decide_mode(
                 MotionVector::ZERO,
                 ctx.cfg.search_range,
                 sp,
+                stats,
             )
         }),
     };
@@ -1203,6 +1245,13 @@ fn decide_mode(
         PartShape::P8x8,
     ];
     let mut best_inter: Option<(PartitionLayout, Vec<InterBlock>, u64)> = None;
+    // The P8x8 sub-shape trials and the final P8x8 block list run the same
+    // (geometry, whole.mv, range-2) forward searches; cache the trial
+    // results so the winning layout's blocks are never searched twice. The
+    // search is deterministic, so replaying a cached result is
+    // decision-identical to recomputing it.
+    let mut p8_cache = [(BlockGeom::default(), whole); 36];
+    let mut p8_len = 0usize;
     for shape in shapes {
         let mut layout = PartitionLayout {
             shape,
@@ -1222,14 +1271,25 @@ fn decide_mode(
                         shape: PartShape::P8x8,
                         subs: [sub; 4],
                     };
-                    // Cost just for this quadrant's blocks.
+                    // Cost just for this quadrant's blocks. Block costs only
+                    // ever add, and the comparison below is strict, so a
+                    // trial whose partial cost already reaches the best can
+                    // be abandoned: it cannot win, and its remaining blocks
+                    // are only ever looked up in the cache if their
+                    // sub-shape won (which requires the full trial to have
+                    // run).
                     let mut cost = 0u64;
+                    let mut abandoned = false;
                     for g in trial
                         .blocks()
                         .iter()
                         .filter(|g| g.dx / 8 == q % 2 && g.dy / 8 == q / 2)
                     {
-                        let r = search_sub(
+                        if cost >= best_sub.1 {
+                            abandoned = true;
+                            break;
+                        }
+                        let r = search_sub_stats(
                             ctx.cur,
                             ref_fwd,
                             mb_x + g.dx,
@@ -1239,10 +1299,13 @@ fn decide_mode(
                             whole.mv,
                             2,
                             sp,
+                            stats,
                         );
+                        p8_cache[p8_len] = (*g, r);
+                        p8_len += 1;
                         cost += r.sad + lam * 10;
                     }
-                    if cost < best_sub.1 {
+                    if !abandoned && cost < best_sub.1 {
                         best_sub = (sub, cost);
                     }
                 }
@@ -1262,26 +1325,40 @@ fn decide_mode(
             };
             let fwd = if refine == 0 {
                 whole
+            } else if let Some(&(_, r)) = p8_cache[..p8_len].iter().find(|(cg, _)| cg == g) {
+                r
             } else {
-                search_sub(ctx.cur, ref_fwd, bx, by, g.w, g.h, whole.mv, refine, sp)
+                search_sub_stats(
+                    ctx.cur, ref_fwd, bx, by, g.w, g.h, whole.mv, refine, sp, stats,
+                )
             };
             let mut dir = PredDir::Forward;
             let mut chosen_sad = fwd.sad;
             let mut mv_b = MotionVector::ZERO;
             if let (Some(rb), Some(bw)) = (ctx.ref_bwd, bwd_whole) {
-                let bwd = search_sub(ctx.cur, rb, bx, by, g.w, g.h, bw.mv, 2, sp);
+                let bwd = search_sub_stats(ctx.cur, rb, bx, by, g.w, g.h, bw.mv, 2, sp, stats);
                 if bwd.sad + lam * 2 < chosen_sad {
                     dir = PredDir::Backward;
                     chosen_sad = bwd.sad;
                 }
-                // Bi-prediction.
-                let f = mc_block_sub(ref_fwd, bx, by, g.w, g.h, fwd.mv, sp);
-                let b2 = mc_block_sub(rb, bx, by, g.w, g.h, bwd.mv, sp);
-                let bi = bi_average(&f, &b2);
-                let bi_sad: u64 = sad_against(ctx.cur, bx, by, g.w, g.h, &bi);
+                // Bi-prediction. The decision is `bi_sad + lam*6 <
+                // chosen_sad`, so the SAD may stop once it exceeds
+                // `chosen_sad - lam*6`: past that the comparison is already
+                // lost (and when `lam*6 >= chosen_sad` it is unwinnable, so
+                // any partial value keeps the decision identical).
+                let n = g.w * g.h;
+                let mut fwd_pred = [0u8; MAX_BLOCK_PIXELS];
+                let mut bi = [0u8; MAX_BLOCK_PIXELS];
+                mc_block_sub_into(ref_fwd, bx, by, g.w, g.h, fwd.mv, sp, &mut fwd_pred[..n]);
+                mc_block_sub_into(rb, bx, by, g.w, g.h, bwd.mv, sp, &mut scratch[..n]);
+                bi_average_into(&fwd_pred[..n], &scratch[..n], &mut bi[..n]);
+                let bi_bound = chosen_sad.saturating_sub(lam * 6);
+                let bi_sad = sad_against_bounded(ctx.cur, bx, by, g.w, g.h, &bi[..n], bi_bound);
                 if bi_sad + lam * 6 < chosen_sad {
                     dir = PredDir::Bi;
                     chosen_sad = bi_sad;
+                } else if bi_sad > bi_bound {
+                    stats.early_exits += 1;
                 }
                 mv_b = bwd.mv;
             }
@@ -1330,7 +1407,7 @@ fn residual_is_zero(cur: &[u8; 256], pred: &[u8; 256], qp: u8) -> bool {
                     blk[y * 4 + x] = cur[i] as i32 - pred[i] as i32;
                 }
             }
-            let q = quantize(&forward4x4(&blk), qp, false);
+            let q = forward_quant(&blk, qp, false);
             if q.iter().any(|&v| v != 0) {
                 return false;
             }
@@ -1355,6 +1432,7 @@ fn code_residual_and_recon<W: SymbolWriter>(
     intra: bool,
     prev_qp: &mut u8,
 ) {
+    let _transform_span = vapp_obs::span!("codec.mb.transform");
     // QP delta (predictive metadata coding, paper §2.3.2).
     let delta = qp as i32 - *prev_qp as i32;
     w.put_sint(Element::QpDelta, 0, delta);
@@ -1372,7 +1450,7 @@ fn code_residual_and_recon<W: SymbolWriter>(
                 r[y * 4 + x] = cur[i] as i32 - pred[i] as i32;
             }
         }
-        let q = quantize(&forward4x4(&r), qp, intra);
+        let q = forward_quant(&r, qp, intra);
         coded4[blk] = q.iter().any(|&v| v != 0);
         levels[blk] = q;
     }
@@ -1399,7 +1477,7 @@ fn code_residual_and_recon<W: SymbolWriter>(
     for blk in 0..16 {
         let (bx, by) = (blk % 4, blk / 4);
         let res = if coded4[blk] {
-            inverse4x4(&dequantize(&levels[blk], qp))
+            dequant_inverse(&levels[blk], qp)
         } else {
             [0; 16]
         };
@@ -1427,6 +1505,7 @@ fn code_intra4_mb<W: SymbolWriter>(
     qp: u8,
     prev_qp: &mut u8,
 ) {
+    let _transform_span = vapp_obs::span!("codec.mb.transform");
     let delta = qp as i32 - *prev_qp as i32;
     w.put_sint(Element::QpDelta, 0, delta);
     *prev_qp = qp;
@@ -1463,7 +1542,7 @@ fn code_intra4_mb<W: SymbolWriter>(
                 r[y * 4 + x] = cur_plane.get(bx + x, by + y) as i32 - best.2[y * 4 + x] as i32;
             }
         }
-        let levels = quantize(&forward4x4(&r), qp, true);
+        let levels = forward_quant(&r, qp, true);
         let coded = levels.iter().any(|&v| v != 0);
         w.put_flag(Element::Blk4, blk % 4, coded);
         if coded {
@@ -1471,7 +1550,7 @@ fn code_intra4_mb<W: SymbolWriter>(
         }
         // Reconstruct immediately so the next block predicts from it.
         let res = if coded {
-            inverse4x4(&dequantize(&levels, qp))
+            dequant_inverse(&levels, qp)
         } else {
             [0; 16]
         };

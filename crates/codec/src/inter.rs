@@ -6,7 +6,7 @@
 //! dependencies VideoApp records (paper §4.1).
 
 use crate::types::MotionVector;
-use vapp_media::Plane;
+use vapp_media::{Plane, MB_SIZE};
 
 /// Hard bound on motion-vector components (also the decoder's clamp for
 /// corrupt data).
@@ -19,6 +19,24 @@ pub struct SearchResult {
     pub mv: MotionVector,
     /// Its sum of absolute differences.
     pub sad: u64,
+}
+
+/// Counters accumulated by the bounded search loops. Threaded through by
+/// value per macroblock task (never stored in thread-locals) so the totals
+/// are identical at any worker count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// SAD evaluations pruned by the running-best bound: the evaluation
+    /// stopped (possibly mid-block) once its partial sum exceeded the best
+    /// candidate so far, so the block was rejected without a full sum.
+    pub early_exits: u64,
+}
+
+impl SearchStats {
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: SearchStats) {
+        self.early_exits += other.early_exits;
+    }
 }
 
 /// Full search in a `±range` window around `center` for the `w x h` block
@@ -36,18 +54,73 @@ pub fn motion_search(
     center: MotionVector,
     range: i16,
 ) -> SearchResult {
+    motion_search_stats(
+        cur,
+        reference,
+        x,
+        y,
+        w,
+        h,
+        center,
+        range,
+        &mut SearchStats::default(),
+    )
+}
+
+/// [`motion_search`] with early-exit accounting.
+///
+/// Every candidate SAD is bounded by the running best: a candidate whose
+/// partial sum already exceeds `best.sad` can stop summing, because it can
+/// win neither the `<` comparison nor the distance tie-break (which requires
+/// exact equality, and partial sums only come back when they *exceed* the
+/// bound). The winner's SAD is therefore always the exact value — identical
+/// to the unbounded search, decision for decision.
+///
+/// The center candidate is evaluated first (exactly) to seed a tight bound;
+/// the winner is the lexicographic minimum of `(sad, distance-to-center)`
+/// over the window, which does not depend on evaluation order (equal
+/// `(sad, dist)` pairs can only share a motion vector via clamping), so the
+/// reordering is also decision-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn motion_search_stats(
+    cur: &Plane,
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    center: MotionVector,
+    range: i16,
+    stats: &mut SearchStats,
+) -> SearchResult {
+    let seed_mv = MotionVector::new(
+        center.x.clamp(-MV_LIMIT, MV_LIMIT),
+        center.y.clamp(-MV_LIMIT, MV_LIMIT),
+    );
     let mut best = SearchResult {
-        mv: center,
-        sad: u64::MAX,
+        mv: seed_mv,
+        sad: cur.sad(
+            x,
+            y,
+            w,
+            h,
+            reference,
+            x as isize + seed_mv.x as isize,
+            y as isize + seed_mv.y as isize,
+        ),
     };
-    let mut best_dist = i32::MAX;
+    let mut best_dist =
+        (seed_mv.x as i32 - center.x as i32).abs() + (seed_mv.y as i32 - center.y as i32).abs();
     for dy in -range..=range {
         for dx in -range..=range {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
             let mv = MotionVector::new(
                 (center.x + dx).clamp(-MV_LIMIT, MV_LIMIT),
                 (center.y + dy).clamp(-MV_LIMIT, MV_LIMIT),
             );
-            let sad = cur.sad(
+            let sad = cur.sad_bounded(
                 x,
                 y,
                 w,
@@ -55,12 +128,15 @@ pub fn motion_search(
                 reference,
                 x as isize + mv.x as isize,
                 y as isize + mv.y as isize,
+                best.sad,
             );
             let dist =
                 (mv.x as i32 - center.x as i32).abs() + (mv.y as i32 - center.y as i32).abs();
             if sad < best.sad || (sad == best.sad && dist < best_dist) {
                 best = SearchResult { mv, sad };
                 best_dist = dist;
+            } else if sad > best.sad {
+                stats.early_exits += 1;
             }
         }
     }
@@ -78,14 +154,32 @@ pub fn mc_block(
     mv: MotionVector,
 ) -> Vec<u8> {
     let mut out = vec![0u8; w * h];
+    mc_block_into(reference, x, y, w, h, mv, &mut out);
+    out
+}
+
+/// [`mc_block`] writing into a caller-provided buffer — the allocation-free
+/// form the encoder's candidate loops use (one scratch per macroblock task).
+///
+/// # Panics
+///
+/// Panics if `out.len() != w * h`.
+pub fn mc_block_into(
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    mv: MotionVector,
+    out: &mut [u8],
+) {
     reference.copy_block(
         x as isize + mv.x as isize,
         y as isize + mv.y as isize,
         w,
         h,
-        &mut out,
+        out,
     );
-    out
 }
 
 /// Motion-compensates a block with **half-pel** precision: `mv` is in
@@ -100,13 +194,83 @@ pub fn mc_block_halfpel(
     h: usize,
     mv: MotionVector,
 ) -> Vec<u8> {
+    let mut out = vec![0u8; w * h];
+    mc_block_halfpel_into(reference, x, y, w, h, mv, &mut out);
+    out
+}
+
+/// [`mc_block_halfpel`] writing into a caller-provided buffer.
+///
+/// Interior blocks (the fractional footprint fully inside the reference)
+/// interpolate whole rows at a time with the word-parallel rounding averages
+/// from [`vapp_media::kernels`]; blocks touching a border fall back to the
+/// scalar clamped-sampling loop. Both produce identical bytes (pinned by the
+/// kernel-equivalence property tests).
+///
+/// # Panics
+///
+/// Panics if `out.len() != w * h`.
+pub fn mc_block_halfpel_into(
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    mv: MotionVector,
+    out: &mut [u8],
+) {
+    assert_eq!(out.len(), w * h, "prediction buffer size mismatch");
     let bx = x as isize * 2 + mv.x as isize;
     let by = y as isize * 2 + mv.y as isize;
     let ix = bx.div_euclid(2);
     let iy = by.div_euclid(2);
-    let fx = bx.rem_euclid(2) as u16;
-    let fy = by.rem_euclid(2) as u16;
-    let mut out = vec![0u8; w * h];
+    let fx = bx.rem_euclid(2) as usize;
+    let fy = by.rem_euclid(2) as usize;
+    // The footprint is (w + fx) x (h + fy): fractional axes read one extra
+    // pixel. When it sits fully inside the plane, rows can be borrowed.
+    if reference.block_interior(ix, iy, w + fx, h + fy) {
+        let (ix, iy) = (ix as usize, iy as usize);
+        match (fx, fy) {
+            (0, 0) => {
+                for oy in 0..h {
+                    out[oy * w..][..w].copy_from_slice(&reference.row(iy + oy)[ix..ix + w]);
+                }
+            }
+            (1, 0) => {
+                for oy in 0..h {
+                    let row = reference.row(iy + oy);
+                    vapp_media::kernels::avg_rounding(
+                        &row[ix..ix + w],
+                        &row[ix + 1..ix + 1 + w],
+                        &mut out[oy * w..][..w],
+                    );
+                }
+            }
+            (0, 1) => {
+                for oy in 0..h {
+                    vapp_media::kernels::avg_rounding(
+                        &reference.row(iy + oy)[ix..ix + w],
+                        &reference.row(iy + oy + 1)[ix..ix + w],
+                        &mut out[oy * w..][..w],
+                    );
+                }
+            }
+            _ => {
+                for oy in 0..h {
+                    let r0 = reference.row(iy + oy);
+                    let r1 = reference.row(iy + oy + 1);
+                    vapp_media::kernels::avg4_rounding(
+                        &r0[ix..ix + w],
+                        &r0[ix + 1..ix + 1 + w],
+                        &r1[ix..ix + w],
+                        &r1[ix + 1..ix + 1 + w],
+                        &mut out[oy * w..][..w],
+                    );
+                }
+            }
+        }
+        return;
+    }
     for oy in 0..h {
         for ox in 0..w {
             let px = ix + ox as isize;
@@ -126,7 +290,6 @@ pub fn mc_block_halfpel(
             out[oy * w + ox] = v as u8;
         }
     }
-    out
 }
 
 /// Motion compensation at either precision: `mv` is in half-pel units
@@ -144,6 +307,29 @@ pub fn mc_block_sub(
         mc_block_halfpel(reference, x, y, w, h, mv)
     } else {
         mc_block(reference, x, y, w, h, mv)
+    }
+}
+
+/// [`mc_block_sub`] writing into a caller-provided buffer.
+///
+/// # Panics
+///
+/// Panics if `out.len() != w * h`.
+#[allow(clippy::too_many_arguments)] // block geometry + vector + precision + buffer
+pub fn mc_block_sub_into(
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    mv: MotionVector,
+    subpel: bool,
+    out: &mut [u8],
+) {
+    if subpel {
+        mc_block_halfpel_into(reference, x, y, w, h, mv, out);
+    } else {
+        mc_block_into(reference, x, y, w, h, mv, out);
     }
 }
 
@@ -171,15 +357,147 @@ pub fn ref_rect(
     )
 }
 
+/// Pixels in the largest block any search or compensation call handles
+/// (one 16x16 macroblock) — the size of the reusable scratch buffers.
+pub const MAX_BLOCK_PIXELS: usize = vapp_media::MB_PIXELS;
+
 /// Sum of absolute differences between the source block and an arbitrary
 /// prediction buffer.
 pub fn sad_against(cur: &Plane, x: usize, y: usize, w: usize, h: usize, pred: &[u8]) -> u64 {
+    sad_against_bounded(cur, x, y, w, h, pred, u64::MAX)
+}
+
+/// [`sad_against`] with the same early-exit contract as
+/// [`Plane::sad_bounded`]: stops once the running total strictly exceeds
+/// `bound`. Interior source blocks compare borrowed plane rows against the
+/// prediction word-parallel.
+#[allow(clippy::too_many_arguments)] // block geometry + prediction + bound
+pub fn sad_against_bounded(
+    cur: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    pred: &[u8],
+    bound: u64,
+) -> u64 {
     debug_assert_eq!(pred.len(), w * h);
     let mut total = 0u64;
+    if x + w <= cur.width() && y + h <= cur.height() {
+        for oy in 0..h {
+            let a = &cur.row(y + oy)[x..x + w];
+            total += vapp_media::kernels::sad_slices(a, &pred[oy * w..][..w]);
+            if total > bound {
+                return total;
+            }
+        }
+        return total;
+    }
     for oy in 0..h {
         for ox in 0..w {
             let a = cur.sample((x + ox) as isize, (y + oy) as isize) as i32;
             total += (a - pred[oy * w + ox] as i32).unsigned_abs() as u64;
+        }
+        if total > bound {
+            return total;
+        }
+    }
+    total
+}
+
+/// Fused half-pel compensation + bounded SAD: interpolates one row at a
+/// time into a stack buffer and accumulates the SAD against `cur`, stopping
+/// as soon as the running total strictly exceeds `bound` — so a pruned
+/// candidate never pays for the rows it would have thrown away.
+///
+/// Same contract as [`Plane::sad_bounded`]: exact whenever the result is
+/// `<= bound`, and any early return is itself `> bound`. Identical bytes to
+/// `mc_block_halfpel_into` + `sad_against` (pinned by the unit tests below
+/// and the kernel-equivalence property tests).
+#[allow(clippy::too_many_arguments)]
+pub fn sad_halfpel_bounded(
+    cur: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    reference: &Plane,
+    mv: MotionVector,
+    bound: u64,
+) -> u64 {
+    debug_assert!(w <= MB_SIZE);
+    let bx = x as isize * 2 + mv.x as isize;
+    let by = y as isize * 2 + mv.y as isize;
+    let ix = bx.div_euclid(2);
+    let iy = by.div_euclid(2);
+    let fx = bx.rem_euclid(2) as usize;
+    let fy = by.rem_euclid(2) as usize;
+    let mut total = 0u64;
+    if x + w <= cur.width()
+        && y + h <= cur.height()
+        && reference.block_interior(ix, iy, w + fx, h + fy)
+    {
+        let (ix, iy) = (ix as usize, iy as usize);
+        let mut row_buf = [0u8; MB_SIZE];
+        for oy in 0..h {
+            let a = &cur.row(y + oy)[x..x + w];
+            total += match (fx, fy) {
+                (0, 0) => vapp_media::kernels::sad_slices(a, &reference.row(iy + oy)[ix..ix + w]),
+                _ => {
+                    let pred = &mut row_buf[..w];
+                    let r0 = reference.row(iy + oy);
+                    match (fx, fy) {
+                        (1, 0) => vapp_media::kernels::avg_rounding(
+                            &r0[ix..ix + w],
+                            &r0[ix + 1..ix + 1 + w],
+                            pred,
+                        ),
+                        (0, 1) => vapp_media::kernels::avg_rounding(
+                            &r0[ix..ix + w],
+                            &reference.row(iy + oy + 1)[ix..ix + w],
+                            pred,
+                        ),
+                        _ => {
+                            let r1 = reference.row(iy + oy + 1);
+                            vapp_media::kernels::avg4_rounding(
+                                &r0[ix..ix + w],
+                                &r0[ix + 1..ix + 1 + w],
+                                &r1[ix..ix + w],
+                                &r1[ix + 1..ix + 1 + w],
+                                pred,
+                            );
+                        }
+                    }
+                    vapp_media::kernels::sad_slices(a, pred)
+                }
+            };
+            if total > bound {
+                return total;
+            }
+        }
+        return total;
+    }
+    for oy in 0..h {
+        for ox in 0..w {
+            let px = ix + ox as isize;
+            let py = iy + oy as isize;
+            let p00 = reference.sample(px, py) as u16;
+            let p = match (fx, fy) {
+                (0, 0) => p00,
+                (1, 0) => (p00 + reference.sample(px + 1, py) as u16 + 1) >> 1,
+                (0, 1) => (p00 + reference.sample(px, py + 1) as u16 + 1) >> 1,
+                _ => {
+                    let p10 = reference.sample(px + 1, py) as u16;
+                    let p01 = reference.sample(px, py + 1) as u16;
+                    let p11 = reference.sample(px + 1, py + 1) as u16;
+                    (p00 + p10 + p01 + p11 + 2) >> 2
+                }
+            };
+            let a = cur.sample((x + ox) as isize, (y + oy) as isize) as i32;
+            total += (a - p as i32).unsigned_abs() as u64;
+        }
+        if total > bound {
+            return total;
         }
     }
     total
@@ -201,11 +519,46 @@ pub fn search_sub(
     range: i16,
     subpel: bool,
 ) -> SearchResult {
+    search_sub_stats(
+        cur,
+        reference,
+        x,
+        y,
+        w,
+        h,
+        center,
+        range,
+        subpel,
+        &mut SearchStats::default(),
+    )
+}
+
+/// [`search_sub`] with early-exit accounting — the allocation-free form
+/// used per macroblock task.
+///
+/// The ±1 refinement bounds each candidate by the running best; only a
+/// strictly better candidate replaces it (no tie-break here), so pruning
+/// anything whose partial sum exceeds the best is decision-identical. Each
+/// candidate runs through the fused [`sad_halfpel_bounded`], so pruned
+/// candidates never materialise their prediction at all.
+#[allow(clippy::too_many_arguments)]
+pub fn search_sub_stats(
+    cur: &Plane,
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    center: MotionVector,
+    range: i16,
+    subpel: bool,
+    stats: &mut SearchStats,
+) -> SearchResult {
     if !subpel {
-        return motion_search(cur, reference, x, y, w, h, center, range);
+        return motion_search_stats(cur, reference, x, y, w, h, center, range, stats);
     }
     let full_center = MotionVector::new(center.x / 2, center.y / 2);
-    let full = motion_search(cur, reference, x, y, w, h, full_center, range);
+    let full = motion_search_stats(cur, reference, x, y, w, h, full_center, range, stats);
     let base = MotionVector::new(full.mv.x * 2, full.mv.y * 2);
     let mut best = SearchResult {
         mv: base,
@@ -220,10 +573,11 @@ pub fn search_sub(
                 (base.x + dx).clamp(-MV_LIMIT, MV_LIMIT),
                 (base.y + dy).clamp(-MV_LIMIT, MV_LIMIT),
             );
-            let pred = mc_block_halfpel(reference, x, y, w, h, mv);
-            let sad = sad_against(cur, x, y, w, h, &pred);
+            let sad = sad_halfpel_bounded(cur, x, y, w, h, reference, mv, best.sad);
             if sad < best.sad {
                 best = SearchResult { mv, sad };
+            } else if sad > best.sad {
+                stats.early_exits += 1;
             }
         }
     }
@@ -237,11 +591,22 @@ pub fn search_sub(
 ///
 /// Panics if the two blocks differ in length.
 pub fn bi_average(fwd: &[u8], bwd: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; fwd.len()];
+    bi_average_into(fwd, bwd, &mut out);
+    out
+}
+
+/// [`bi_average`] into a caller-provided buffer, averaging 8 pixel pairs
+/// per word (`(a + b).div_ceil(2)` is exactly the half-pel rounding
+/// average).
+///
+/// # Panics
+///
+/// Panics if the buffer lengths differ.
+pub fn bi_average_into(fwd: &[u8], bwd: &[u8], out: &mut [u8]) {
     assert_eq!(fwd.len(), bwd.len(), "bi-prediction block size mismatch");
-    fwd.iter()
-        .zip(bwd)
-        .map(|(&a, &b)| (a as u16 + b as u16).div_ceil(2) as u8)
-        .collect()
+    assert_eq!(fwd.len(), out.len(), "bi-prediction output size mismatch");
+    vapp_media::kernels::avg_rounding(fwd, bwd, out);
 }
 
 #[cfg(test)]

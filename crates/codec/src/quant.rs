@@ -4,7 +4,8 @@
 //! tables, so the quantisation step doubles every 6 QP exactly as in the
 //! real codec. Quantisation is the only lossy step of the coding stage.
 
-use crate::transform::Block4x4;
+use crate::transform::{forward4x4, inverse4x4, Block4x4};
+use std::sync::OnceLock;
 
 /// Highest legal quantisation parameter (H.264 luma).
 pub const MAX_QP: u8 = 51;
@@ -84,6 +85,87 @@ pub fn dequantize(levels: &Block4x4, qp: u8) -> Block4x4 {
     out
 }
 
+/// Per-QP quantisation constants, expanded from the position-class tables to
+/// one entry per block position so the hot loops index directly (no
+/// `pos_class` divide/modulo per coefficient).
+struct QpTable {
+    /// `MF[qp % 6][pos_class(i)]` for each of the 16 positions.
+    mf: [i64; 16],
+    /// `V[qp % 6][pos_class(i)] << (qp / 6)` — the rescale factor with the
+    /// QP shift pre-applied.
+    v: [i64; 16],
+    /// Quantisation shift `15 + qp / 6`.
+    qbits: i64,
+    /// Intra dead-zone offset `2^qbits / 3`.
+    f_intra: i64,
+    /// Inter dead-zone offset `2^qbits / 6`.
+    f_inter: i64,
+}
+
+/// The 52 per-QP tables, built once on first use.
+fn qp_tables() -> &'static [QpTable; 52] {
+    static TABLES: OnceLock<[QpTable; 52]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        core::array::from_fn(|qp| {
+            let qbits = 15 + (qp / 6) as i64;
+            QpTable {
+                mf: core::array::from_fn(|i| MF[qp % 6][pos_class(i)]),
+                v: core::array::from_fn(|i| (V[qp % 6][pos_class(i)] as i64) << (qp / 6)),
+                qbits,
+                f_intra: (1i64 << qbits) / 3,
+                f_inter: (1i64 << qbits) / 6,
+            }
+        })
+    })
+}
+
+/// Fused `forward4x4` → `quantize`: transforms a residual block and
+/// quantises it in one pass over the per-QP LUT.
+///
+/// Bit-identical to the scalar pair (`quantize(&forward4x4(r), qp, intra)`),
+/// which stays as the reference implementation — the LUT stores exactly the
+/// values the scalar path recomputes per coefficient.
+///
+/// # Panics
+///
+/// Panics if `qp > 51`.
+pub fn forward_quant(residual: &Block4x4, qp: u8, intra: bool) -> Block4x4 {
+    assert!(qp <= MAX_QP, "qp out of range");
+    let t = &qp_tables()[qp as usize];
+    let f = if intra { t.f_intra } else { t.f_inter };
+    let coeffs = forward4x4(residual);
+    let mut out = [0i32; 16];
+    for i in 0..16 {
+        let w = coeffs[i] as i64;
+        let level = (w.abs() * t.mf[i] + f) >> t.qbits;
+        out[i] = if w < 0 { -level as i32 } else { level as i32 };
+    }
+    out
+}
+
+/// Fused `dequantize` → `inverse4x4` for **encoder-produced** levels.
+///
+/// Uses the pre-shifted rescale LUT in 64-bit arithmetic, so it differs from
+/// the scalar `dequantize` (whose `saturating_mul` then shift saturates on
+/// absurd inputs) only when `|level * V|` overflows `i32` — impossible for
+/// levels that came out of [`quantize`]/[`forward_quant`] on 8-bit residuals
+/// (`|level| < 2^13`, `V << shift <= 29 << 8`, product `< 2^26`). The decoder
+/// keeps the scalar pair because corrupt streams *can* carry huge levels and
+/// their saturation behaviour is part of its contract.
+///
+/// # Panics
+///
+/// Panics if `qp > 51`.
+pub fn dequant_inverse(levels: &Block4x4, qp: u8) -> Block4x4 {
+    assert!(qp <= MAX_QP, "qp out of range");
+    let t = &qp_tables()[qp as usize];
+    let mut deq = [0i32; 16];
+    for i in 0..16 {
+        deq[i] = (levels[i] as i64 * t.v[i]) as i32;
+    }
+    inverse4x4(&deq)
+}
+
 /// Zigzag scan order for a 4x4 block (H.264 frame scan).
 pub const ZIGZAG4X4: [usize; 16] = [0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15];
 
@@ -159,6 +241,37 @@ mod tests {
     #[should_panic(expected = "qp out of range")]
     fn qp_out_of_range_rejected() {
         quantize(&[0; 16], 52, false);
+    }
+
+    #[test]
+    fn fused_forward_quant_matches_scalar_pair() {
+        for qp in 0..=MAX_QP {
+            for intra in [false, true] {
+                let r: Block4x4 =
+                    core::array::from_fn(|i| ((i as i32 * 173 + qp as i32 * 31) % 511) - 255);
+                assert_eq!(
+                    forward_quant(&r, qp, intra),
+                    quantize(&crate::transform::forward4x4(&r), qp, intra),
+                    "qp={qp} intra={intra}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_dequant_inverse_matches_scalar_pair() {
+        for qp in 0..=MAX_QP {
+            // Levels as the encoder would produce them: quantised 8-bit
+            // residual coefficients.
+            let r: Block4x4 =
+                core::array::from_fn(|i| ((i as i32 * 89 + qp as i32 * 17) % 511) - 255);
+            let levels = forward_quant(&r, qp, false);
+            assert_eq!(
+                dequant_inverse(&levels, qp),
+                crate::transform::inverse4x4(&dequantize(&levels, qp)),
+                "qp={qp}"
+            );
+        }
     }
 
     #[test]

@@ -164,7 +164,7 @@ pub struct PartitionLayout {
 }
 
 /// Geometry of one prediction block within a macroblock.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct BlockGeom {
     /// Offset within the macroblock.
     pub dx: usize,
@@ -174,6 +174,55 @@ pub struct BlockGeom {
     pub w: usize,
     /// Block height.
     pub h: usize,
+}
+
+/// The prediction blocks of one partition layout, inline (no allocation).
+///
+/// A macroblock has at most 16 blocks (four quadrants of four 4x4 blocks),
+/// so the list fits a fixed array; [`PartitionLayout::blocks`] is called in
+/// the encoder's per-candidate mode-decision loop, where a heap `Vec` per
+/// call was measurable. Derefs to a slice, so iteration and indexing read
+/// like before.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockList {
+    blocks: [BlockGeom; 16],
+    len: usize,
+}
+
+impl BlockList {
+    fn new() -> Self {
+        BlockList {
+            blocks: [BlockGeom::default(); 16],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, b: BlockGeom) {
+        self.blocks[self.len] = b;
+        self.len += 1;
+    }
+
+    /// The blocks as a slice (what [`std::ops::Deref`] also yields).
+    pub fn as_slice(&self) -> &[BlockGeom] {
+        &self.blocks[..self.len]
+    }
+}
+
+impl std::ops::Deref for BlockList {
+    type Target = [BlockGeom];
+
+    fn deref(&self) -> &[BlockGeom] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a BlockList {
+    type Item = &'a BlockGeom;
+    type IntoIter = std::slice::Iter<'a, BlockGeom>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
 }
 
 impl PartitionLayout {
@@ -186,14 +235,20 @@ impl PartitionLayout {
     }
 
     /// Lists the prediction blocks of this layout in coding order.
-    pub fn blocks(&self) -> Vec<BlockGeom> {
+    pub fn blocks(&self) -> BlockList {
         let b = |dx, dy, w, h| BlockGeom { dx, dy, w, h };
+        let mut out = BlockList::new();
         match self.shape {
-            PartShape::P16x16 => vec![b(0, 0, 16, 16)],
-            PartShape::P16x8 => vec![b(0, 0, 16, 8), b(0, 8, 16, 8)],
-            PartShape::P8x16 => vec![b(0, 0, 8, 16), b(8, 0, 8, 16)],
+            PartShape::P16x16 => out.push(b(0, 0, 16, 16)),
+            PartShape::P16x8 => {
+                out.push(b(0, 0, 16, 8));
+                out.push(b(0, 8, 16, 8));
+            }
+            PartShape::P8x16 => {
+                out.push(b(0, 0, 8, 16));
+                out.push(b(8, 0, 8, 16));
+            }
             PartShape::P8x8 => {
-                let mut out = Vec::new();
                 for (q, sub) in self.subs.iter().enumerate() {
                     let qx = (q % 2) * 8;
                     let qy = (q / 2) * 8;
@@ -216,9 +271,9 @@ impl PartitionLayout {
                         }
                     }
                 }
-                out
             }
         }
+        out
     }
 }
 
@@ -395,7 +450,7 @@ mod tests {
         #[allow(clippy::needless_range_loop)] // (x, y) pixel coordinates
         for layout in layouts {
             let mut covered = [[false; 16]; 16];
-            for b in layout.blocks() {
+            for b in &layout.blocks() {
                 for y in b.dy..b.dy + b.h {
                     for x in b.dx..b.dx + b.w {
                         assert!(!covered[y][x], "{layout:?} overlaps at ({x},{y})");

@@ -1,0 +1,183 @@
+//! Property tests pinning the word-parallel codec kernels bit-identical to
+//! their scalar references — the scalar paths stay the specification the
+//! SWAR (and optional intrinsic) kernels must reproduce exactly, across
+//! random blocks, non-multiple-of-8 widths and border geometries.
+
+use vapp_check::{RngExt, StdRng};
+use vapp_codec::inter::{mc_block_halfpel_into, MAX_BLOCK_PIXELS};
+use vapp_codec::quant::{dequantize, forward_quant, quantize, MAX_QP};
+use vapp_codec::transform::{forward4x4, inverse4x4, Block4x4};
+use vapp_codec::types::MotionVector;
+use vapp_media::Plane;
+
+fn random_plane(rng: &mut StdRng, w: usize, h: usize) -> Plane {
+    let data: Vec<u8> = (0..w * h).map(|_| rng.random::<u64>() as u8).collect();
+    Plane::from_data(w, h, data)
+}
+
+/// Clamped scalar SAD — the definition `Plane::sad_bounded` must match
+/// whenever the result is `<=` the bound.
+#[allow(clippy::too_many_arguments)]
+fn sad_scalar(
+    cur: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    other: &Plane,
+    rx: isize,
+    ry: isize,
+) -> u64 {
+    let mut sum = 0u64;
+    for dy in 0..h {
+        for dx in 0..w {
+            let a = cur.get(x + dx, y + dy) as i32;
+            let b = other.sample(rx + dx as isize, ry + dy as isize) as i32;
+            sum += a.abs_diff(b) as u64;
+        }
+    }
+    sum
+}
+
+#[test]
+fn swar_sad_matches_scalar_reference() {
+    vapp_check::check("swar_sad_matches_scalar", 64, |rng| {
+        let pw = rng.random_range(24..64);
+        let ph = rng.random_range(24..64);
+        let cur = random_plane(rng, pw, ph);
+        let refp = random_plane(rng, pw, ph);
+        // Deliberately non-multiple-of-8 widths and border-straddling
+        // reference origins.
+        let w = rng.random_range(1..=16usize.min(pw));
+        let h = rng.random_range(1..=16usize.min(ph));
+        let x = rng.random_range(0..=pw - w);
+        let y = rng.random_range(0..=ph - h);
+        let rx = rng.random_range(0..pw as i64 + 8) as isize - 4;
+        let ry = rng.random_range(0..ph as i64 + 8) as isize - 4;
+        let want = sad_scalar(&cur, x, y, w, h, &refp, rx, ry);
+        assert_eq!(
+            cur.sad(x, y, w, h, &refp, rx, ry),
+            want,
+            "w={w} h={h} x={x} y={y} rx={rx} ry={ry}"
+        );
+        // Bounded variant: exact at or below the bound, and never *under*
+        // the bound when it bails early (so `> bound` comparisons agree).
+        let bound = rng.random_range(0..want + 2);
+        let got = cur.sad_bounded(x, y, w, h, &refp, rx, ry, bound);
+        if want <= bound {
+            assert_eq!(got, want, "bounded must be exact at/below bound");
+        } else {
+            assert!(got > bound, "early exit must still report excess");
+        }
+    });
+}
+
+#[test]
+fn sad_slices_matches_scalar_on_ragged_lengths() {
+    vapp_check::check("sad_slices_ragged", 64, |rng| {
+        let n = rng.random_range(0..80usize);
+        let a: Vec<u8> = (0..n).map(|_| rng.random::<u64>() as u8).collect();
+        let b: Vec<u8> = (0..n).map(|_| rng.random::<u64>() as u8).collect();
+        let want: u64 = a.iter().zip(&b).map(|(&x, &y)| x.abs_diff(y) as u64).sum();
+        assert_eq!(vapp_media::kernels::sad_slices(&a, &b), want, "len={n}");
+    });
+}
+
+#[test]
+fn fused_transform_quant_matches_scalar_pair() {
+    vapp_check::check("fused_forward_quant", 64, |rng| {
+        let qp = rng.random_range(0..=MAX_QP as u64) as u8;
+        let intra = rng.random::<u64>() & 1 == 1;
+        let r: Block4x4 = core::array::from_fn(|_| rng.random_range(0..511) - 255);
+        let want = quantize(&forward4x4(&r), qp, intra);
+        assert_eq!(forward_quant(&r, qp, intra), want, "qp={qp} intra={intra}");
+        // And the fused inverse on the levels the forward pass produced.
+        assert_eq!(
+            vapp_codec::quant::dequant_inverse(&want, qp),
+            inverse4x4(&dequantize(&want, qp)),
+            "qp={qp}"
+        );
+    });
+}
+
+/// Scalar half-pel motion compensation — clamped bilinear sampling, the
+/// definition `mc_block_halfpel_into`'s word-parallel interior path must
+/// reproduce byte for byte.
+fn mc_halfpel_scalar(
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    mv: MotionVector,
+) -> Vec<u8> {
+    let bx = x as isize * 2 + mv.x as isize;
+    let by = y as isize * 2 + mv.y as isize;
+    let (ix, iy) = (bx.div_euclid(2), by.div_euclid(2));
+    let (fx, fy) = (bx.rem_euclid(2), by.rem_euclid(2));
+    let mut out = vec![0u8; w * h];
+    for oy in 0..h {
+        for ox in 0..w {
+            let px = ix + ox as isize;
+            let py = iy + oy as isize;
+            let p00 = reference.sample(px, py) as u16;
+            let v = match (fx, fy) {
+                (0, 0) => p00,
+                (1, 0) => (p00 + reference.sample(px + 1, py) as u16 + 1) >> 1,
+                (0, 1) => (p00 + reference.sample(px, py + 1) as u16 + 1) >> 1,
+                _ => {
+                    let p10 = reference.sample(px + 1, py) as u16;
+                    let p01 = reference.sample(px, py + 1) as u16;
+                    let p11 = reference.sample(px + 1, py + 1) as u16;
+                    (p00 + p10 + p01 + p11 + 2) >> 2
+                }
+            };
+            out[oy * w + ox] = v as u8;
+        }
+    }
+    out
+}
+
+#[test]
+fn word_parallel_bilinear_matches_scalar_reference() {
+    vapp_check::check("halfpel_bilinear", 64, |rng| {
+        let pw = rng.random_range(24..64);
+        let ph = rng.random_range(24..64);
+        let refp = random_plane(rng, pw, ph);
+        let w = rng.random_range(1..=16usize.min(pw));
+        let h = rng.random_range(1..=16usize.min(ph));
+        let x = rng.random_range(0..=pw - w);
+        let y = rng.random_range(0..=ph - h);
+        // Half-pel vectors reaching interior, border and out-of-plane
+        // positions, covering all four (fx, fy) phases.
+        let mv = MotionVector::new(
+            rng.random_range(0..24) as i16 - 12,
+            rng.random_range(0..24) as i16 - 12,
+        );
+        let want = mc_halfpel_scalar(&refp, x, y, w, h, mv);
+        let mut got = [0u8; MAX_BLOCK_PIXELS];
+        mc_block_halfpel_into(&refp, x, y, w, h, mv, &mut got[..w * h]);
+        assert_eq!(
+            &got[..w * h],
+            &want[..],
+            "w={w} h={h} x={x} y={y} mv=({},{})",
+            mv.x,
+            mv.y
+        );
+    });
+}
+
+#[test]
+fn bi_average_into_matches_scalar_rounding() {
+    vapp_check::check("bi_average_rounding", 64, |rng| {
+        let n = rng.random_range(1..=MAX_BLOCK_PIXELS);
+        let a: Vec<u8> = (0..n).map(|_| rng.random::<u64>() as u8).collect();
+        let b: Vec<u8> = (0..n).map(|_| rng.random::<u64>() as u8).collect();
+        let mut got = vec![0u8; n];
+        vapp_codec::inter::bi_average_into(&a, &b, &mut got);
+        for i in 0..n {
+            let want = ((a[i] as u16 + b[i] as u16 + 1) >> 1) as u8;
+            assert_eq!(got[i], want, "i={i} a={} b={}", a[i], b[i]);
+        }
+    });
+}

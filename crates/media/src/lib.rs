@@ -31,6 +31,7 @@
 mod frame;
 mod geometry;
 pub mod io;
+pub mod kernels;
 mod plane;
 
 pub use frame::{Frame, Video};

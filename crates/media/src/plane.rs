@@ -136,11 +136,26 @@ impl Plane {
     /// Panics if `out.len() != w * h`.
     pub fn copy_block(&self, x: isize, y: isize, w: usize, h: usize, out: &mut [u8]) {
         assert_eq!(out.len(), w * h, "output buffer size mismatch");
+        if self.block_interior(x, y, w, h) {
+            let (x, y) = (x as usize, y as usize);
+            for by in 0..h {
+                let src = &self.data[(y + by) * self.width + x..][..w];
+                out[by * w..][..w].copy_from_slice(src);
+            }
+            return;
+        }
         for by in 0..h {
             for bx in 0..w {
                 out[by * w + bx] = self.sample(x + bx as isize, y + by as isize);
             }
         }
+    }
+
+    /// True when a `w x h` block at signed `(x, y)` lies fully inside the
+    /// plane, i.e. clamped sampling degenerates to direct row access.
+    #[inline]
+    pub fn block_interior(&self, x: isize, y: isize, w: usize, h: usize) -> bool {
+        x >= 0 && y >= 0 && x as usize + w <= self.width && y as usize + h <= self.height
     }
 
     /// Writes a `w x h` block at `(x, y)`; parts outside the plane are
@@ -176,12 +191,94 @@ impl Plane {
         rx: isize,
         ry: isize,
     ) -> u64 {
+        self.sad_bounded(x, y, w, h, other, rx, ry, u64::MAX)
+    }
+
+    /// [`Plane::sad`] with early exit: stops accumulating as soon as the
+    /// running total strictly exceeds `bound` and returns that partial sum.
+    ///
+    /// The contract is *decision-identical* to the exact SAD for callers that
+    /// only ever compare results against `bound` (a running best): a block
+    /// whose true SAD is `<= bound` — including exact ties — is always summed
+    /// in full and returned exactly, because every partial row total is `<=`
+    /// the final sum. Only blocks that would lose anyway can return early,
+    /// and the partial value they return is still `> bound`, so `<` and `==`
+    /// comparisons against any value `<= bound` come out the same as with the
+    /// exact SAD.
+    ///
+    /// Interior blocks (fully inside both planes) take a word-parallel row
+    /// path — see [`crate::kernels::sad_slices`]; blocks touching a border
+    /// fall back to clamped per-pixel sampling.
+    #[allow(clippy::too_many_arguments)] // block geometry + reference + bound
+    pub fn sad_bounded(
+        &self,
+        x: usize,
+        y: usize,
+        w: usize,
+        h: usize,
+        other: &Plane,
+        rx: isize,
+        ry: isize,
+        bound: u64,
+    ) -> u64 {
+        let cur_ok = x + w <= self.width && y + h <= self.height;
+        if cur_ok && other.block_interior(rx, ry, w, h) {
+            let (rx, ry) = (rx as usize, ry as usize);
+            let mut total = 0u64;
+            for by in 0..h {
+                let a = &self.data[(y + by) * self.width + x..][..w];
+                let b = &other.data[(ry + by) * other.width + rx..][..w];
+                total += crate::kernels::sad_slices(a, b);
+                if total > bound {
+                    return total;
+                }
+            }
+            return total;
+        }
+        if cur_ok {
+            // The reference block straddles a border of `other` but the
+            // source block is interior: clamp per row, splitting each row
+            // into a left edge-replicated run, a word-parallel interior
+            // span, and a right edge-replicated run. Exactly the clamped
+            // sampling result, without per-pixel clamps.
+            let rw = other.width as isize;
+            // First dx with rx + dx >= 0, and first dx with rx + dx >= rw.
+            let lo = (-rx).clamp(0, w as isize) as usize;
+            let hi = (rw - rx).clamp(0, w as isize) as usize;
+            let mut total = 0u64;
+            for by in 0..h {
+                let a = &self.data[(y + by) * self.width + x..][..w];
+                let ry_c = (ry + by as isize).clamp(0, other.height as isize - 1) as usize;
+                let b = other.row(ry_c);
+                let left = b[0] as i32;
+                let right = b[other.width - 1] as i32;
+                for &av in &a[..lo] {
+                    total += (av as i32 - left).unsigned_abs() as u64;
+                }
+                if lo < hi {
+                    let start = (rx + lo as isize) as usize;
+                    total += crate::kernels::sad_slices(&a[lo..hi], &b[start..start + hi - lo]);
+                }
+                for &av in &a[hi..] {
+                    total += (av as i32 - right).unsigned_abs() as u64;
+                }
+                if total > bound {
+                    return total;
+                }
+            }
+            return total;
+        }
+        // Source block itself leaves the plane: clamped sampling on both
+        // sides, still row-bounded for early exit.
         let mut total = 0u64;
         for by in 0..h {
             for bx in 0..w {
                 let a = self.sample((x + bx) as isize, (y + by) as isize) as i32;
                 let b = other.sample(rx + bx as isize, ry + by as isize) as i32;
                 total += (a - b).unsigned_abs() as u64;
+            }
+            if total > bound {
+                return total;
             }
         }
         total
@@ -218,6 +315,108 @@ impl fmt::Debug for Plane {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The original per-pixel SAD, retained as the reference the
+    /// word-parallel implementation must match (same idiom as the storage
+    /// crate's `ScalarBch`).
+    #[allow(clippy::too_many_arguments)]
+    fn sad_scalar_ref(
+        cur: &Plane,
+        x: usize,
+        y: usize,
+        w: usize,
+        h: usize,
+        other: &Plane,
+        rx: isize,
+        ry: isize,
+    ) -> u64 {
+        let mut total = 0u64;
+        for by in 0..h {
+            for bx in 0..w {
+                let a = cur.sample((x + bx) as isize, (y + by) as isize) as i32;
+                let b = other.sample(rx + bx as isize, ry + by as isize) as i32;
+                total += (a - b).unsigned_abs() as u64;
+            }
+        }
+        total
+    }
+
+    fn textured(width: usize, height: usize, salt: u64) -> Plane {
+        let mut p = Plane::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let v = (x as u64)
+                    .wrapping_mul(31)
+                    .wrapping_add((y as u64).wrapping_mul(97))
+                    .wrapping_add(salt.wrapping_mul(131));
+                p.set(x, y, (v % 251) as u8);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn sad_matches_scalar_reference_interior_and_border() {
+        let cur = textured(40, 24, 1);
+        let reference = textured(40, 24, 2);
+        // Interior, border-straddling and fully-clamped geometries, plus
+        // non-multiple-of-8 widths that exercise the SWAR remainder.
+        let cases: &[(usize, usize, usize, usize, isize, isize)] = &[
+            (8, 4, 16, 16, 10, 6),
+            (8, 4, 16, 16, -3, -2),
+            (24, 8, 16, 16, 30, 12),
+            (0, 0, 16, 16, -20, -20),
+            (5, 3, 13, 7, 4, 2),
+            (5, 3, 13, 7, 39, 23),
+            (32, 16, 8, 8, 35, 17),
+            (0, 0, 4, 4, 1, 1),
+        ];
+        for &(x, y, w, h, rx, ry) in cases {
+            assert_eq!(
+                cur.sad(x, y, w, h, &reference, rx, ry),
+                sad_scalar_ref(&cur, x, y, w, h, &reference, rx, ry),
+                "geometry ({x},{y}) {w}x{h} at ({rx},{ry})"
+            );
+        }
+    }
+
+    #[test]
+    fn sad_bounded_is_exact_at_or_below_bound() {
+        let cur = textured(40, 24, 3);
+        let reference = textured(40, 24, 4);
+        let exact = cur.sad(8, 4, 16, 16, &reference, 11, 7);
+        // bound >= exact (including equality): the full exact sum comes back.
+        assert_eq!(
+            cur.sad_bounded(8, 4, 16, 16, &reference, 11, 7, exact),
+            exact
+        );
+        assert_eq!(
+            cur.sad_bounded(8, 4, 16, 16, &reference, 11, 7, exact + 1),
+            exact
+        );
+        // bound < exact: whatever partial comes back still exceeds the bound.
+        let partial = cur.sad_bounded(8, 4, 16, 16, &reference, 11, 7, exact - 1);
+        assert!(partial > exact - 1);
+        assert!(partial <= exact);
+        // Same contract on the clamped border path.
+        let edge_exact = cur.sad(0, 0, 16, 16, &reference, -5, -4);
+        let edge_partial = cur.sad_bounded(0, 0, 16, 16, &reference, -5, -4, edge_exact / 2);
+        assert!(edge_partial > edge_exact / 2);
+    }
+
+    #[test]
+    fn copy_block_interior_fast_path_matches_clamped() {
+        let p = textured(20, 12, 5);
+        let mut fast = vec![0u8; 6 * 5];
+        let mut slow = vec![0u8; 6 * 5];
+        p.copy_block(3, 2, 6, 5, &mut fast);
+        for by in 0..5 {
+            for bx in 0..6 {
+                slow[by * 6 + bx] = p.sample(3 + bx as isize, 2 + by as isize);
+            }
+        }
+        assert_eq!(fast, slow);
+    }
 
     #[test]
     fn filled_and_get_set() {
